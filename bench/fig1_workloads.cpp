@@ -1,0 +1,71 @@
+// Figure 1 — "Examples of real workloads we used."
+//
+// The paper plots the hourly activity (%) of production LLMI VMs over six
+// days, highlighting that VM3 and VM4 received the exact same workload
+// and VM6 a distinct one.  This bench prints the reconstructed traces as
+// a table and an ASCII strip chart, plus the VM-class statistics.
+#include <cstdio>
+#include <string>
+
+#include "trace/generators.hpp"
+#include "util/sim_time.hpp"
+
+namespace trace = drowsy::trace;
+namespace util = drowsy::util;
+
+namespace {
+
+char level_glyph(double activity) {
+  if (activity <= 0.0) return '.';
+  if (activity < 0.05) return ':';
+  if (activity < 0.10) return '+';
+  if (activity < 0.18) return '*';
+  return '#';
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 1: examples of real (reconstructed) LLMI workloads ==\n");
+  std::printf("activity %% per hour over 6 days; V3 and V4 share a workload\n\n");
+
+  const auto week = trace::nutanix_week();
+  // Paper naming: week[0] drives V3 and V4; week[1..4] drive V5..V8.
+  struct Row {
+    const char* label;
+    const trace::ActivityTrace* tr;
+  };
+  const Row rows[] = {
+      {"VM3", &week[0]}, {"VM4", &week[0]}, {"VM5", &week[1]},
+      {"VM6", &week[2]}, {"VM7", &week[3]}, {"VM8", &week[4]},
+  };
+
+  std::printf("strip chart (one column per hour, '.'=idle '#'=peak):\n");
+  for (const Row& row : rows) {
+    std::string line;
+    for (std::size_t h = 0; h < 6 * util::kHoursPerDay; ++h) {
+      line += level_glyph(row.tr->at_hour(h));
+    }
+    std::printf("  %-4s %s\n", row.label, line.c_str());
+  }
+
+  std::printf("\nhourly peak activity per day (percent):\n");
+  std::printf("  %-4s", "VM");
+  for (int d = 1; d <= 6; ++d) std::printf("   day%-2d", d);
+  std::printf("   class  idle%%\n");
+  for (const Row& row : rows) {
+    std::printf("  %-4s", row.label);
+    for (int d = 0; d < 6; ++d) {
+      double peak = 0.0;
+      for (int h = 0; h < util::kHoursPerDay; ++h) {
+        peak = std::max(peak, row.tr->at_hour(d * util::kHoursPerDay + h));
+      }
+      std::printf("  %5.1f ", 100.0 * peak);
+    }
+    std::printf("  %-5s  %5.1f\n", trace::to_string(row.tr->classify()),
+                100.0 * row.tr->idle_fraction());
+  }
+
+  std::printf("\npaper shape check: peaks land in the 5-25%% band, VM3==VM4, all LLMI\n");
+  return 0;
+}

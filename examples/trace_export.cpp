@@ -1,0 +1,49 @@
+// Export the whole workload-generator catalogue as CSV for external
+// plotting or as fixtures for other tools.
+//
+//   $ ./trace_export [output.csv] [years]
+//
+// Columns: one per generator (Table II's catalogue plus the Fig. 1
+// reconstructions), one row per hour.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "trace/csv.hpp"
+#include "trace/generators.hpp"
+
+namespace trace = drowsy::trace;
+namespace util = drowsy::util;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "drowsy_traces.csv";
+  const std::size_t years = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 1;
+
+  trace::GenOptions o;
+  o.years = years;
+
+  std::vector<trace::ActivityTrace> traces;
+  traces.push_back(trace::daily_backup(o));
+  traces.push_back(trace::comic_strips(o));
+  traces.push_back(trace::llmu_constant(o));
+  traces.push_back(trace::diploma_results(o));
+  traces.push_back(trace::office_hours(o));
+  traces.push_back(trace::end_of_month(o));
+  traces.push_back(trace::google_like_llmu(o));
+  for (std::size_t v = 0; v < 5; ++v) {
+    traces.push_back(trace::nutanix_like(v, o));
+  }
+
+  trace::save_csv(path, traces);
+
+  std::printf("wrote %zu traces x %zu hours to %s\n", traces.size(),
+              years * util::kHoursPerYear, path.c_str());
+  std::printf("%-18s %-6s %8s %8s\n", "trace", "class", "idle%", "mean%");
+  for (const auto& tr : traces) {
+    std::printf("%-18s %-6s %7.1f%% %7.2f%%\n", tr.name().c_str(),
+                trace::to_string(tr.classify()), 100.0 * tr.idle_fraction(),
+                100.0 * tr.mean_activity());
+  }
+  return 0;
+}

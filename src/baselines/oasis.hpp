@@ -1,0 +1,56 @@
+// Oasis-style hybrid consolidation baseline (after Zhi, Bila & de Lara,
+// EuroSys 2016), the second comparison system of the paper (§I, §VII).
+//
+// Oasis colocates VMs whose *observed* idleness overlaps, judging idleness
+// from a hypervisor-observable heuristic (the paper cites the VM
+// page-dirtying rate, §IV; our substrate's analogue is the noise-filtered
+// quanta ledger).  Its matcher checks pairs of VMs — the O(n²) complexity
+// the paper contrasts with Drowsy-DC's O(n) per-VM models (§VII) — and it
+// looks only at a recent history window, with no multi-scale periodic
+// model and no forecast of the next interval.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/consolidation.hpp"
+#include "sim/cluster.hpp"
+
+namespace drowsy::baselines {
+
+/// Oasis tunables.
+struct OasisConfig {
+  std::size_t window_hours = 168;     ///< pairwise-compatibility window (1 week)
+  double idle_threshold = 0.005;      ///< page-dirtying-style idleness cutoff
+  int repack_period_hours = 24;       ///< how often the matcher re-runs
+  double min_score = 0.5;             ///< pairs below this are not matched
+};
+
+/// Oasis as a pluggable consolidation policy.
+class OasisConsolidation final : public core::ConsolidationPolicy {
+ public:
+  OasisConsolidation(sim::Cluster& cluster, OasisConfig config = {});
+
+  void run_hour(std::int64_t next_hour) override;
+  [[nodiscard]] std::string name() const override { return "oasis"; }
+
+  /// Fraction of the history window where both VMs were in the same
+  /// idleness state (both idle or both active).  Exposed for tests.
+  [[nodiscard]] double pair_score(sim::VmId a, sim::VmId b) const;
+
+  [[nodiscard]] const OasisConfig& config() const { return config_; }
+
+ private:
+  void record_hour(std::int64_t hour);
+  void repack();
+
+  sim::Cluster& cluster_;
+  OasisConfig config_;
+  std::unordered_map<sim::VmId, std::deque<bool>> idle_history_;
+  std::int64_t hours_seen_ = 0;
+};
+
+}  // namespace drowsy::baselines

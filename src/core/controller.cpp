@@ -1,0 +1,147 @@
+#include "core/controller.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace drowsy::core {
+
+Controller::Controller(sim::Cluster& cluster, net::SdnSwitch& sw,
+                       ControllerOptions options)
+    : cluster_(cluster),
+      switch_(sw),
+      options_(options),
+      models_(options.drowsy.model),
+      drowsy_policy_(std::make_unique<IdlenessConsolidator>(cluster, models_,
+                                                            options.drowsy.placement)),
+      policy_(drowsy_policy_.get()),
+      fabric_(cluster, sw, options.requests) {
+  drowsy_policy_->set_relocate_all_mode(options.relocate_all);
+  if (options.parallel_model_updates) {
+    pool_ = std::make_unique<util::ThreadPool>();
+  }
+}
+
+void Controller::set_policy(ConsolidationPolicy* policy) {
+  policy_ = policy != nullptr ? policy : drowsy_policy_.get();
+}
+
+void Controller::install() {
+  assert(!installed_);
+  installed_ = true;
+
+  fabric_.wire_ports();
+
+  // Keep the SDN forwarding table in sync with placements.
+  cluster_.set_on_placement([this](sim::Vm& vm, sim::Host& host) {
+    switch_.bind_ip(vm.ip(), host.mac());
+  });
+
+  // Waking modules: primary plus (optionally) a heartbeat-mirrored standby.
+  waking_primary_ = std::make_unique<WakingModule>(cluster_, switch_,
+                                                   options_.drowsy.waking,
+                                                   "waking-primary", /*active=*/true);
+  waking_primary_->install_analyzer();
+  if (options_.waking_standby) {
+    waking_standby_ = std::make_unique<WakingModule>(cluster_, switch_,
+                                                     options_.drowsy.waking,
+                                                     "waking-standby", /*active=*/false);
+    waking_standby_->install_analyzer();
+    waking_primary_->set_mirror(waking_standby_.get());
+    waking_pair_ = std::make_unique<net::MirroredPair>(
+        cluster_.queue(), net::HeartbeatConfig{},
+        [standby = waking_standby_.get()] { standby->activate(); });
+    waking_pair_->start();
+  }
+
+  // One suspending module per host, hooked into the host's wake path.
+  for (const auto& host : cluster_.hosts()) {
+    auto module = std::make_unique<SuspendModule>(*host, cluster_, models_,
+                                                  options_.drowsy.suspend);
+    module->set_waking_module(waking_primary_.get());
+    host->set_quick_resume(options_.quick_resume);
+    SuspendModule* raw = module.get();
+    host->set_on_wake([this, raw, h = host.get()] {
+      raw->on_host_wake();
+      waking_primary_->on_host_resumed(*h);
+    });
+    module->start();
+    suspend_modules_.push_back(std::move(module));
+  }
+}
+
+void Controller::place_all_unplaced() {
+  const util::CalendarTime c = util::calendar_of(cluster_.queue().now());
+  for (const auto& vm : cluster_.vms()) {
+    if (cluster_.host_of(vm->id()) != nullptr) continue;
+    auto target = drowsy_policy_->initial_placement(*vm, c);
+    if (target.has_value()) {
+      cluster_.place(vm->id(), *target);
+    } else {
+      DROWSY_LOG_WARN("controller", "no host fits VM %s", vm->name().c_str());
+    }
+  }
+}
+
+void Controller::pretrain_models(std::int64_t hours) {
+  const double floor = cluster_.config().noise_floor;
+  for (std::int64_t h = 0; h < hours; ++h) {
+    const util::CalendarTime c = util::calendar_of(h * util::kMsPerHour);
+    for (const auto& vm : cluster_.vms()) {
+      const double raw = vm->activity_at_hour(h);
+      models_.model(vm->id()).observe_hour(c, raw > floor ? raw : 0.0);
+    }
+  }
+}
+
+void Controller::refresh_runstates(std::int64_t hour) {
+  const double floor = cluster_.config().noise_floor;
+  for (const auto& vm : cluster_.vms()) {
+    if (cluster_.host_of(vm->id()) == nullptr) continue;
+    vm->set_service_active(vm->activity_at_hour(hour) > floor);
+  }
+}
+
+void Controller::pump_guest_timers(sim::HostId id, std::int64_t hour) {
+  sim::Host* host = cluster_.host(id);
+  const util::SimTime hour_end = (hour + 1) * util::kMsPerHour;
+  const util::SimTime now = cluster_.queue().now();
+  if (host->state() == sim::PowerState::S0) {
+    for (sim::Vm* vm : host->vms()) vm->guest().fire_due_timers(now);
+  }
+  // Chain to the next expiry within this hour (suspended hosts keep the
+  // chain armed: if they resume before the expiry the pump fires on time).
+  util::SimTime next = util::kNever;
+  for (sim::Vm* vm : host->vms()) {
+    if (const kern::HrTimer* t = vm->guest().timers().peek()) {
+      next = std::min(next, t->expiry);
+    }
+  }
+  if (next == util::kNever || next >= hour_end) return;
+  // An overdue timer on a suspended host fires on resume; re-arming the
+  // chain for it would spin at the current instant.
+  if (next <= now) return;
+  cluster_.queue().schedule_at(next, [this, id, hour] { pump_guest_timers(id, hour); });
+}
+
+void Controller::run_hours(std::int64_t hours,
+                           const std::function<void(std::int64_t)>& on_hour_end) {
+  assert(installed_ && "call install() first");
+  sim::EventQueue& q = cluster_.queue();
+  assert(q.now() % util::kMsPerHour == 0 && "start on an hour boundary");
+  const std::int64_t start = util::hour_index(q.now());
+  for (std::int64_t h = start; h < start + hours; ++h) {
+    refresh_runstates(h);
+    fabric_.schedule_hour(h);
+    for (const auto& host : cluster_.hosts()) pump_guest_timers(host->id(), h);
+    q.run_until((h + 1) * util::kMsPerHour);
+    cluster_.account_hour(h);
+    models_.observe_hour(cluster_, h, pool_.get());
+    if ((h + 1 - start) % options_.consolidation_period_hours == 0) {
+      policy_->run_hour(h + 1);
+    }
+    if (on_hour_end) on_hour_end(h);
+  }
+}
+
+}  // namespace drowsy::core

@@ -1,0 +1,16 @@
+// Umbrella header: the public API of the Drowsy-DC library.
+//
+//   #include "core/drowsy.hpp"
+//
+// pulls in the idleness model (paper §III), the consolidation policies
+// (§III-D), the suspending module (§IV), the waking module (§V) and the
+// controller that deploys all of them over the simulated data center.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/consolidation.hpp"
+#include "core/controller.hpp"
+#include "core/idleness_model.hpp"
+#include "core/model_builder.hpp"
+#include "core/suspend_module.hpp"
+#include "core/waking_module.hpp"

@@ -1,0 +1,63 @@
+#include "metrics/colocation.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace drowsy::metrics {
+
+ColocationMatrix::ColocationMatrix(std::size_t vm_count)
+    : n_(vm_count), together_(vm_count * vm_count, 0) {}
+
+std::uint64_t& ColocationMatrix::cell(std::size_t a, std::size_t b) {
+  assert(a < n_ && b < n_);
+  return together_[a * n_ + b];
+}
+
+std::uint64_t ColocationMatrix::cell(std::size_t a, std::size_t b) const {
+  assert(a < n_ && b < n_);
+  return together_[a * n_ + b];
+}
+
+void ColocationMatrix::sample(sim::Cluster& cluster) {
+  ++samples_;
+  const auto& vms = cluster.vms();
+  for (std::size_t i = 0; i < vms.size() && i < n_; ++i) {
+    const sim::Host* hi = cluster.host_of(vms[i]->id());
+    if (hi == nullptr) continue;
+    for (std::size_t j = i + 1; j < vms.size() && j < n_; ++j) {
+      if (cluster.host_of(vms[j]->id()) == hi) {
+        ++cell(i, j);
+        ++cell(j, i);
+      }
+    }
+  }
+}
+
+double ColocationMatrix::percent(std::size_t a, std::size_t b) const {
+  if (a == b) return 100.0;
+  if (samples_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(cell(a, b)) / static_cast<double>(samples_);
+}
+
+std::string ColocationMatrix::to_table(sim::Cluster& cluster) const {
+  std::string out = "      ";
+  char buf[64];
+  for (std::size_t j = 0; j < n_; ++j) {
+    std::snprintf(buf, sizeof(buf), "%6s", cluster.vms()[j]->name().c_str());
+    out += buf;
+  }
+  out += "   #mig\n";
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%-6s", cluster.vms()[i]->name().c_str());
+    out += buf;
+    for (std::size_t j = 0; j < n_; ++j) {
+      std::snprintf(buf, sizeof(buf), "%6.0f", percent(i, j));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%7d\n", cluster.vms()[i]->migration_count());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace drowsy::metrics

@@ -1,0 +1,43 @@
+// Colocation tracking — paper Figure 2.
+//
+// Samples VM placements (one sample per hour) and reports, for every VM
+// pair, the percentage of samples where both shared a host, plus each
+// VM's migration count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace drowsy::metrics {
+
+/// Pairwise colocation statistics over a run.
+class ColocationMatrix {
+ public:
+  explicit ColocationMatrix(std::size_t vm_count);
+
+  /// Record the current placement of every VM in `cluster`.
+  void sample(sim::Cluster& cluster);
+
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+  /// Percentage of samples where VMs `a` and `b` shared a host
+  /// (100 on the diagonal, by convention).
+  [[nodiscard]] double percent(std::size_t a, std::size_t b) const;
+
+  /// Render the Fig. 2-style table: colocation percentages plus a final
+  /// #mig column taken from the cluster's per-VM migration counters.
+  [[nodiscard]] std::string to_table(sim::Cluster& cluster) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint64_t> together_;  // n*n upper-triangular use
+  std::size_t samples_ = 0;
+
+  [[nodiscard]] std::uint64_t& cell(std::size_t a, std::size_t b);
+  [[nodiscard]] std::uint64_t cell(std::size_t a, std::size_t b) const;
+};
+
+}  // namespace drowsy::metrics

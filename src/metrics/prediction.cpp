@@ -1,0 +1,60 @@
+#include "metrics/prediction.hpp"
+
+namespace drowsy::metrics {
+
+void ConfusionCounter::add(bool predicted_idle, bool actually_idle) {
+  if (predicted_idle && actually_idle) {
+    ++tp_;
+  } else if (predicted_idle && !actually_idle) {
+    ++fp_;
+  } else if (!predicted_idle && actually_idle) {
+    ++fn_;
+  } else {
+    ++tn_;
+  }
+}
+
+double ConfusionCounter::recall() const {
+  const std::uint64_t denom = tp_ + fn_;
+  return denom == 0 ? 1.0 : static_cast<double>(tp_) / static_cast<double>(denom);
+}
+
+double ConfusionCounter::precision() const {
+  const std::uint64_t denom = tp_ + fp_;
+  return denom == 0 ? 1.0 : static_cast<double>(tp_) / static_cast<double>(denom);
+}
+
+double ConfusionCounter::f_measure() const {
+  const double r = recall();
+  const double p = precision();
+  return (r + p) == 0.0 ? 0.0 : 2.0 * r * p / (r + p);
+}
+
+double ConfusionCounter::specificity() const {
+  const std::uint64_t denom = tn_ + fp_;
+  return denom == 0 ? 1.0 : static_cast<double>(tn_) / static_cast<double>(denom);
+}
+
+void ConfusionCounter::remove(bool predicted_idle, bool actually_idle) {
+  if (predicted_idle && actually_idle) {
+    --tp_;
+  } else if (predicted_idle && !actually_idle) {
+    --fp_;
+  } else if (!predicted_idle && actually_idle) {
+    --fn_;
+  } else {
+    --tn_;
+  }
+}
+
+void WindowedConfusion::add(bool predicted_idle, bool actually_idle) {
+  entries_.push_back({predicted_idle, actually_idle});
+  counts_.add(predicted_idle, actually_idle);
+  if (entries_.size() > window_) {
+    const Entry e = entries_.front();
+    entries_.pop_front();
+    counts_.remove(e.predicted, e.actual);
+  }
+}
+
+}  // namespace drowsy::metrics

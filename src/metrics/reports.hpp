@@ -1,0 +1,51 @@
+// Report formatting for the evaluation benches: Table I (suspend
+// fractions), the §VI-A-3 energy summary, and SLA/latency lines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/requests.hpp"
+#include "util/sim_time.hpp"
+
+namespace drowsy::metrics {
+
+/// Per-host suspended-time fractions over [window_start, now], plus the
+/// global fraction — one Table I row.
+struct SuspendFractionRow {
+  std::string algorithm;
+  std::vector<double> per_host;  ///< fraction in [0, 1]
+  double global = 0.0;
+};
+
+/// Compute a row from live cluster state.  `hosts` selects which hosts
+/// appear (the paper reports the resource pool P2–P5 only).
+[[nodiscard]] SuspendFractionRow suspend_fractions(
+    const std::string& algorithm, sim::Cluster& cluster,
+    const std::vector<sim::HostId>& hosts, util::SimTime window_start);
+
+/// Render Table I from a set of rows.
+[[nodiscard]] std::string suspend_fraction_table(
+    const std::vector<SuspendFractionRow>& rows, sim::Cluster& cluster,
+    const std::vector<sim::HostId>& hosts);
+
+/// One experiment's energy/SLA outcome.
+struct EnergySummary {
+  std::string algorithm;
+  double kwh = 0.0;
+  double sla_attainment = 0.0;    ///< fraction of requests within the SLA
+  double wake_latency_p99_ms = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t wakes = 0;
+  int migrations = 0;
+};
+
+[[nodiscard]] EnergySummary summarize(const std::string& algorithm,
+                                      sim::Cluster& cluster,
+                                      const sim::RequestFabric& fabric);
+
+/// Render the summaries side by side.
+[[nodiscard]] std::string energy_table(const std::vector<EnergySummary>& rows);
+
+}  // namespace drowsy::metrics

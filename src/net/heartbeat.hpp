@@ -1,0 +1,86 @@
+// Heartbeat-based failure detection for mirrored waking modules.
+//
+// "All waking modules work in a collaborated manner.  Each waking module
+// monitors — via a heart beat mechanism — and mirrors another one.  In
+// this way, when a waking module is defective, it is replaced with an
+// identical version." (paper §V)
+//
+// A MirroredPair couples a primary and a standby: the standby expects a
+// beat every `interval`; after `miss_threshold` consecutive misses it
+// declares the primary dead and invokes the failover action (the standby
+// promotes itself using the mirrored state).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/sdn_switch.hpp"
+#include "util/sim_time.hpp"
+
+namespace drowsy::net {
+
+/// Configuration for the heartbeat protocol.
+struct HeartbeatConfig {
+  util::SimTime interval = util::seconds(1);
+  int miss_threshold = 3;  ///< consecutive missed beats before failover
+};
+
+/// Observes heartbeats from a peer and triggers failover when they stop.
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor(Dispatcher& dispatcher, HeartbeatConfig config,
+                   std::function<void()> on_failover);
+
+  /// Start watching.  Checks run every `interval` until failover fires or
+  /// stop() is called.
+  void start();
+  void stop();
+
+  /// Record a beat from the peer (called by the transport on delivery).
+  void beat_received();
+
+  [[nodiscard]] bool failed_over() const { return failed_over_; }
+  [[nodiscard]] int consecutive_misses() const { return misses_; }
+
+ private:
+  void check();
+
+  Dispatcher& dispatcher_;
+  HeartbeatConfig config_;
+  std::function<void()> on_failover_;
+  bool running_ = false;
+  bool failed_over_ = false;
+  bool beat_since_check_ = false;
+  int misses_ = 0;
+  std::uint64_t generation_ = 0;  ///< invalidates stale scheduled checks
+};
+
+/// A primary/standby pair.  The primary emits beats while alive; kill()
+/// silences it, after which the monitor on the standby side fires failover.
+class MirroredPair {
+ public:
+  MirroredPair(Dispatcher& dispatcher, HeartbeatConfig config,
+               std::function<void()> on_promote_standby);
+
+  /// Begin emitting and monitoring heartbeats.
+  void start();
+
+  /// Simulate a crash of the primary: it stops emitting beats.
+  void kill_primary();
+
+  [[nodiscard]] bool primary_alive() const { return primary_alive_; }
+  [[nodiscard]] bool standby_promoted() const { return monitor_.failed_over(); }
+  [[nodiscard]] HeartbeatMonitor& monitor() { return monitor_; }
+
+ private:
+  void emit_beat();
+
+  Dispatcher& dispatcher_;
+  HeartbeatConfig config_;
+  HeartbeatMonitor monitor_;
+  bool primary_alive_ = true;
+  bool started_ = false;
+};
+
+}  // namespace drowsy::net

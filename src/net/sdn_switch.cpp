@@ -1,0 +1,66 @@
+#include "net/sdn_switch.hpp"
+
+#include "util/log.hpp"
+
+namespace drowsy::net {
+
+void ImmediateDispatcher::schedule_after(util::SimTime delay, std::function<void()> fn) {
+  (void)delay;
+  fn();
+}
+
+SdnSwitch::SdnSwitch(Dispatcher& dispatcher, util::SimTime port_latency)
+    : dispatcher_(dispatcher), port_latency_(port_latency) {}
+
+void SdnSwitch::attach_port(MacAddress mac, std::function<void(const Packet&)> deliver) {
+  ports_[mac] = std::move(deliver);
+}
+
+void SdnSwitch::detach_port(const MacAddress& mac) { ports_.erase(mac); }
+
+void SdnSwitch::bind_ip(Ipv4 ip, MacAddress host_mac) { forwarding_[ip] = host_mac; }
+
+void SdnSwitch::unbind_ip(Ipv4 ip) { forwarding_.erase(ip); }
+
+const MacAddress* SdnSwitch::lookup_ip(Ipv4 ip) const {
+  auto it = forwarding_.find(ip);
+  return it == forwarding_.end() ? nullptr : &it->second;
+}
+
+void SdnSwitch::add_analyzer(PacketAnalyzer analyzer) {
+  analyzers_.push_back(std::move(analyzer));
+}
+
+bool SdnSwitch::inject(const Packet& packet) {
+  for (const auto& analyzer : analyzers_) {
+    if (analyzer(packet) == AnalyzerVerdict::Drop) {
+      ++dropped_;
+      return false;
+    }
+  }
+  if (packet.kind == PacketKind::WakeOnLan) {
+    return deliver_to_mac(packet.dst_mac, packet);
+  }
+  auto it = forwarding_.find(packet.dst);
+  if (it == forwarding_.end()) {
+    ++dropped_;
+    DROWSY_LOG_DEBUG("sdn", "no route for %s", packet.dst.to_string().c_str());
+    return false;
+  }
+  return deliver_to_mac(it->second, packet);
+}
+
+bool SdnSwitch::deliver_to_mac(const MacAddress& mac, const Packet& packet) {
+  auto it = ports_.find(mac);
+  if (it == ports_.end()) {
+    ++dropped_;
+    DROWSY_LOG_DEBUG("sdn", "no port for %s", mac.to_string().c_str());
+    return false;
+  }
+  ++forwarded_;
+  auto deliver = it->second;  // copy: the port may detach before delivery
+  dispatcher_.schedule_after(port_latency_, [deliver, packet] { deliver(packet); });
+  return true;
+}
+
+}  // namespace drowsy::net

@@ -1,0 +1,15 @@
+#include "net/wol.hpp"
+
+namespace drowsy::net {
+
+bool WolSender::send(MacAddress mac) {
+  Packet p;
+  p.kind = PacketKind::WakeOnLan;
+  p.dst_mac = mac;
+  p.size_bytes = 102;  // 6 bytes of 0xFF + 16 repetitions of the MAC
+  p.id = next_id_++;
+  ++sent_;
+  return switch_.inject(p);
+}
+
+}  // namespace drowsy::net

@@ -1,0 +1,33 @@
+// Wake-on-LAN.
+//
+// The waking module resumes a drowsy server by sending it a WoL magic
+// packet (paper §V-A).  The NIC stays powered in S3 (the paper cites the
+// Intel I350's ability to keep the link up), so the frame reaches the
+// sleeping host and triggers its resume path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/sdn_switch.hpp"
+
+namespace drowsy::net {
+
+/// Sends WoL magic packets through the switch.
+class WolSender {
+ public:
+  explicit WolSender(SdnSwitch& sw) : switch_(sw) {}
+
+  /// Emit a magic packet to `mac`.  Returns false if the switch had no
+  /// port for the target.
+  bool send(MacAddress mac);
+
+  [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
+
+ private:
+  SdnSwitch& switch_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace drowsy::net

@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace drowsy::sim {
+
+void EventQueue::schedule_at(util::SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(util::SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is the standard
+  // idiom-free workaround — copy the handler instead to stay well-defined.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run_until(util::SimTime until) {
+  assert(until >= now_);
+  while (!heap_.empty() && heap_.top().at <= until) step();
+  now_ = until;
+}
+
+void EventQueue::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+}
+
+}  // namespace drowsy::sim

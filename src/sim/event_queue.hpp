@@ -1,0 +1,64 @@
+// Discrete-event simulation core.
+//
+// A single-threaded future-event list: callbacks keyed by (time, sequence
+// number) executed in order.  Implements net::Dispatcher so the network
+// layer schedules frame deliveries on the same timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/sdn_switch.hpp"
+#include "util/sim_time.hpp"
+
+namespace drowsy::sim {
+
+/// The simulation clock and event loop.
+class EventQueue final : public net::Dispatcher {
+ public:
+  explicit EventQueue(util::SimTime start = 0) : now_(start) {}
+
+  /// Current simulated instant.
+  [[nodiscard]] util::SimTime now() const override { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now).
+  void schedule_at(util::SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` of simulated time (Dispatcher interface).
+  void schedule_after(util::SimTime delay, std::function<void()> fn) override;
+
+  /// Execute the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run every event with time <= `until`, then advance the clock to
+  /// `until` (even if no event lands exactly there).
+  void run_until(util::SimTime until);
+
+  /// Drain the whole queue (bounded by `max_events` as a runaway guard).
+  void run_all(std::size_t max_events = SIZE_MAX);
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    util::SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace drowsy::sim

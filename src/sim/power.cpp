@@ -1,0 +1,36 @@
+#include "sim/power.hpp"
+
+#include <cassert>
+
+namespace drowsy::sim {
+
+const char* to_string(PowerState s) {
+  switch (s) {
+    case PowerState::S0: return "S0";
+    case PowerState::Suspending: return "suspending";
+    case PowerState::S3: return "S3";
+    case PowerState::Resuming: return "resuming";
+  }
+  return "?";
+}
+
+double PowerModel::watts(PowerState state, double utilization) const {
+  assert(utilization >= 0.0 && utilization <= 1.0);
+  switch (state) {
+    case PowerState::S0:
+      return idle_watts + (peak_watts - idle_watts) * utilization;
+    case PowerState::Suspending:
+    case PowerState::Resuming:
+      return transition_watts;
+    case PowerState::S3:
+      return suspend_watts;
+  }
+  return 0.0;
+}
+
+void EnergyMeter::add(util::SimTime duration, double watts) {
+  assert(duration >= 0);
+  joules_ += watts * (static_cast<double>(duration) / 1000.0);
+}
+
+}  // namespace drowsy::sim

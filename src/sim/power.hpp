@@ -1,0 +1,58 @@
+// Host power model and energy metering.
+//
+// Calibrated to the paper's testbed anchors (§VI-A-2): HP machines with
+// i7-3770 CPUs where "the energy consumed by a host when suspended is
+// about 5W, around 10% of the consumption in idle S0 state", i.e. idle S0
+// ≈ 50 W.  Active power grows linearly with utilization, the usual
+// server-power approximation.  Resume takes ≈1500 ms naively and ≈800 ms
+// with the paper's quick-resume work (§VI-A-3).
+#pragma once
+
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace drowsy::sim {
+
+/// ACPI-style host power states.
+enum class PowerState {
+  S0,          ///< awake (power depends on utilization)
+  Suspending,  ///< S0 → S3 transition in progress
+  S3,          ///< suspend-to-RAM ("drowsy")
+  Resuming,    ///< S3 → S0 transition in progress
+};
+
+[[nodiscard]] const char* to_string(PowerState s);
+
+/// Piecewise-linear power model.
+struct PowerModel {
+  double idle_watts = 50.0;     ///< S0 at zero utilization
+  double peak_watts = 105.0;    ///< S0 at full utilization
+  double suspend_watts = 5.0;   ///< S3 ("about 5W", paper §VI-A-2)
+  double transition_watts = 80.0;  ///< draw during suspend/resume transitions
+
+  util::SimTime suspend_latency = util::seconds(5);   ///< S0 → S3
+  util::SimTime resume_latency = util::seconds(1.5);  ///< S3 → S0, naive
+  util::SimTime quick_resume_latency = util::seconds(0.8);  ///< with quick-resume
+
+  /// Instantaneous draw for a state and CPU utilization in [0, 1].
+  [[nodiscard]] double watts(PowerState state, double utilization) const;
+};
+
+/// Integrates power over time into energy.
+class EnergyMeter {
+ public:
+  /// Account `duration` at `watts` draw.
+  void add(util::SimTime duration, double watts);
+
+  [[nodiscard]] double joules() const { return joules_; }
+  [[nodiscard]] double watt_hours() const { return joules_ / 3600.0; }
+  [[nodiscard]] double kwh() const { return joules_ / 3.6e6; }
+
+  void reset() { joules_ = 0.0; }
+
+ private:
+  double joules_ = 0.0;
+};
+
+}  // namespace drowsy::sim

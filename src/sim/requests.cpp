@@ -1,0 +1,84 @@
+#include "sim/requests.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace drowsy::sim {
+
+RequestFabric::RequestFabric(Cluster& cluster, net::SdnSwitch& sw, RequestConfig config)
+    : cluster_(cluster), switch_(sw), config_(config), rng_(config.seed) {}
+
+void RequestFabric::wire_ports() {
+  for (const auto& host : cluster_.hosts()) {
+    const HostId id = host->id();
+    switch_.attach_port(host->mac(),
+                        [this, id](const net::Packet& p) { deliver(id, p); });
+  }
+  for (const auto& vm : cluster_.vms()) {
+    if (const Host* h = cluster_.host_of(vm->id())) {
+      switch_.bind_ip(vm->ip(), h->mac());
+    }
+  }
+}
+
+void RequestFabric::schedule_hour(std::int64_t h) {
+  EventQueue& q = cluster_.queue();
+  const util::SimTime hour_start = h * util::kMsPerHour;
+  assert(hour_start >= q.now());
+  for (const auto& vm : cluster_.vms()) {
+    if (cluster_.host_of(vm->id()) == nullptr) continue;
+    const double activity = vm->activity_at_hour(h);
+    if (activity <= cluster_.config().noise_floor) continue;
+    const double expected = config_.base_rate_per_hour * activity;
+    // Poisson arrivals realized as exponential inter-arrival gaps.
+    double t_ms = 0.0;
+    for (;;) {
+      t_ms += rng_.exponential(expected / static_cast<double>(util::kMsPerHour));
+      if (t_ms >= static_cast<double>(util::kMsPerHour)) break;
+      net::Packet p;
+      p.kind = net::PacketKind::Request;
+      p.dst = vm->ip();
+      p.id = next_packet_id_++;
+      q.schedule_at(hour_start + static_cast<util::SimTime>(t_ms),
+                    [this, p] { switch_.inject(p); });
+    }
+  }
+}
+
+void RequestFabric::deliver(HostId host_id, const net::Packet& packet) {
+  if (packet.kind == net::PacketKind::WakeOnLan) {
+    Host* host = cluster_.host(host_id);
+    assert(host != nullptr);
+    host->begin_resume();
+    return;
+  }
+  if (packet.kind != net::PacketKind::Request) return;
+  Vm* vm = cluster_.vm_by_ip(packet.dst);
+  Host* host = cluster_.host(host_id);
+  assert(host != nullptr);
+  if (vm == nullptr || cluster_.host_of(vm->id()) != host) {
+    ++stats_.lost;  // stale forwarding entry: VM migrated away
+    return;
+  }
+  const util::SimTime arrival = cluster_.queue().now();
+  const bool asleep = host->state() != PowerState::S0;
+  host->when_awake([this, arrival, asleep] { complete(arrival, asleep); });
+}
+
+void RequestFabric::complete(util::SimTime arrival, bool woke) {
+  const double service =
+      config_.service_ms_mean +
+      rng_.uniform(-config_.service_ms_jitter, config_.service_ms_jitter);
+  const double latency =
+      static_cast<double>(cluster_.queue().now() - arrival) + std::max(1.0, service);
+  ++stats_.total;
+  stats_.latencies_ms.add(latency);
+  if (woke) {
+    ++stats_.woke_host;
+    stats_.wake_latencies_ms.add(latency);
+  }
+}
+
+}  // namespace drowsy::sim

@@ -1,0 +1,73 @@
+// Client request fabric and SLA tracking.
+//
+// Models the paper's CloudSuite client simulators (§VI-A-2): each VM
+// receives requests at a rate proportional to its hourly trace activity.
+// Requests travel through the SDN switch (where the waking module's packet
+// analyzer sees them); a request for a VM on a suspended host completes
+// only after the host resumes, which is exactly the ≈0.8–1.5 s wake
+// penalty the paper reports.  Latencies feed the SLA figures (≥99 % of
+// web-search requests under 200 ms).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/sdn_switch.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace drowsy::sim {
+
+/// Request-generation and service-time parameters.
+struct RequestConfig {
+  double base_rate_per_hour = 120.0;  ///< arrival rate at activity 1.0
+  double service_ms_mean = 60.0;      ///< in-VM service time
+  double service_ms_jitter = 30.0;    ///< +/- uniform jitter
+  double sla_ms = 200.0;              ///< CloudSuite web-search bound
+  std::uint64_t seed = 7;
+};
+
+/// Per-experiment request statistics.
+struct RequestStats {
+  util::SampleSet latencies_ms;       ///< all completed requests
+  util::SampleSet wake_latencies_ms;  ///< subset that found the host asleep
+  std::uint64_t total = 0;
+  std::uint64_t woke_host = 0;
+  std::uint64_t lost = 0;  ///< undeliverable (stale forwarding entry)
+
+  [[nodiscard]] double sla_attainment(double sla_ms) const {
+    return latencies_ms.fraction_below(sla_ms);
+  }
+};
+
+/// Drives request traffic for every VM of a cluster through a switch.
+class RequestFabric {
+ public:
+  RequestFabric(Cluster& cluster, net::SdnSwitch& sw, RequestConfig config = {});
+
+  /// Register every host's NIC port with the switch and every VM's IP in
+  /// the forwarding table.  Call once after topology setup (placements
+  /// keep the table fresh through Cluster::set_on_placement — this class
+  /// does not take that hook itself so the controller can compose it).
+  void wire_ports();
+
+  /// Schedule the Poisson arrivals of hour `h` for every placed VM.
+  void schedule_hour(std::int64_t h);
+
+  [[nodiscard]] const RequestStats& stats() const { return stats_; }
+  [[nodiscard]] const RequestConfig& config() const { return config_; }
+
+ private:
+  void deliver(HostId host_id, const net::Packet& packet);
+  void complete(util::SimTime arrival, bool woke);
+
+  Cluster& cluster_;
+  net::SdnSwitch& switch_;
+  RequestConfig config_;
+  util::Rng rng_;
+  RequestStats stats_;
+  std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace drowsy::sim

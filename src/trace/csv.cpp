@@ -1,0 +1,80 @@
+#include "trace/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace drowsy::trace {
+
+void write_csv(std::ostream& out, const std::vector<ActivityTrace>& traces) {
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) out << ',';
+    out << traces[i].name();
+  }
+  out << '\n';
+  std::size_t max_len = 0;
+  for (const auto& t : traces) max_len = std::max(max_len, t.size());
+  for (std::size_t h = 0; h < max_len; ++h) {
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      if (i > 0) out << ',';
+      if (h < traces[i].size()) out << traces[i].hours()[h];
+    }
+    out << '\n';
+  }
+}
+
+void save_csv(const std::string& path, const std::vector<ActivityTrace>& traces) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(f, traces);
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<ActivityTrace> read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("empty CSV");
+  std::vector<std::string> names;
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) names.push_back(cell);
+  }
+  if (names.empty()) throw std::runtime_error("CSV header has no columns");
+  std::vector<std::vector<double>> columns(names.size());
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    std::size_t col = 0;
+    while (std::getline(ss, cell, ',')) {
+      if (col >= columns.size()) {
+        throw std::runtime_error("CSV row " + std::to_string(line_no) + " has extra columns");
+      }
+      if (!cell.empty()) {
+        try {
+          columns[col].push_back(std::stod(cell));
+        } catch (const std::exception&) {
+          throw std::runtime_error("CSV row " + std::to_string(line_no) +
+                                   ": bad number '" + cell + "'");
+        }
+      }
+      ++col;
+    }
+  }
+  std::vector<ActivityTrace> out;
+  out.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out.emplace_back(std::move(columns[i]), names[i]);
+  }
+  return out;
+}
+
+std::vector<ActivityTrace> load_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  return read_csv(f);
+}
+
+}  // namespace drowsy::trace

@@ -1,0 +1,26 @@
+// CSV persistence for activity traces, so benches can export series for
+// plotting and tests can round-trip fixtures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace drowsy::trace {
+
+/// Write traces as columns: header row of names, then one row per hour.
+void write_csv(std::ostream& out, const std::vector<ActivityTrace>& traces);
+
+/// Save to a file.  Throws std::runtime_error on I/O failure.
+void save_csv(const std::string& path, const std::vector<ActivityTrace>& traces);
+
+/// Parse the column format produced by write_csv.  Throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] std::vector<ActivityTrace> read_csv(std::istream& in);
+
+/// Load from a file.  Throws std::runtime_error on I/O failure.
+[[nodiscard]] std::vector<ActivityTrace> load_csv(const std::string& path);
+
+}  // namespace drowsy::trace

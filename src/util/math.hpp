@@ -1,0 +1,60 @@
+// Small numeric helpers shared across the library: the logistic damping
+// used by the idleness-model update (paper eq. 4), simplex projection for
+// the learned time-scale weights, and a generic steepest-descent optimizer
+// (paper §III-C uses steepest descent to learn the weights).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace drowsy::util {
+
+/// Clamp x into [lo, hi].
+[[nodiscard]] double clamp(double x, double lo, double hi);
+
+/// Logistic damping coefficient of paper eq. (4):
+///   u(x) = 1 / (1 + exp(alpha * (x - beta)))
+/// For the idleness model, x is |SI*|, alpha the decrease speed and beta
+/// the "extreme value" threshold.
+[[nodiscard]] double logistic_damping(double x, double alpha, double beta);
+
+/// Dot product of two equally-sized vectors.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean (L2) norm.
+[[nodiscard]] double l2_norm(std::span<const double> v);
+
+/// Project v in place onto the probability simplex
+/// { w : w_i >= 0, sum w_i = 1 } (Duchi et al. 2008, O(n log n)).
+void project_to_simplex(std::span<double> v);
+
+/// Result of a gradient-descent run.
+struct DescentResult {
+  std::vector<double> x;    ///< final iterate
+  double value = 0.0;       ///< objective at the final iterate
+  std::size_t iterations = 0;
+  bool converged = false;   ///< gradient norm fell below tolerance
+};
+
+/// Options for steepest_descent.
+struct DescentOptions {
+  double learning_rate = 0.05;
+  std::size_t max_iterations = 32;
+  double gradient_tolerance = 1e-12;
+  /// Optional projection applied after every step (e.g. simplex).
+  std::function<void(std::span<double>)> project;
+};
+
+/// Minimize `f` by steepest descent from `x0`.  `grad(x, g)` must write the
+/// gradient of f at x into g.  Deliberately simple and allocation-light:
+/// the idleness model runs one of these per VM per hour (paper §III-C),
+/// so "its precision can be set to not incur any overhead".
+[[nodiscard]] DescentResult steepest_descent(
+    std::span<const double> x0,
+    const std::function<double(std::span<const double>)>& f,
+    const std::function<void(std::span<const double>, std::span<double>)>& grad,
+    const DescentOptions& opts = {});
+
+}  // namespace drowsy::util

@@ -1,0 +1,189 @@
+#include "baselines/neat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+
+namespace b = drowsy::baselines;
+namespace s = drowsy::sim;
+namespace t = drowsy::trace;
+
+namespace {
+
+struct NeatFixture : ::testing::Test {
+  s::EventQueue q;
+  s::Cluster cluster{q};
+
+  s::Host& add_host(int max_vms = 4) {
+    return cluster.add_host(
+        s::HostSpec{"P" + std::to_string(cluster.hosts().size() + 1), 8, 16384, max_vms});
+  }
+  s::Vm& add_vm(double level, int mem_mb = 2048) {
+    return cluster.add_vm(s::VmSpec{"V" + std::to_string(cluster.vms().size() + 1), 2, mem_mb},
+                          t::ActivityTrace(std::vector<double>(600, level)));
+  }
+};
+
+}  // namespace
+
+TEST_F(NeatFixture, ThrOverloadDetection) {
+  auto& host = add_host();
+  b::NeatConfig cfg;
+  cfg.overload = b::OverloadAlgo::Thr;
+  cfg.threshold = 0.9;
+  b::NeatConsolidation neat(cluster, cfg);
+  EXPECT_FALSE(neat.overloaded(host, 0.85));
+  EXPECT_TRUE(neat.overloaded(host, 0.95));
+}
+
+TEST_F(NeatFixture, MadFallsBackToThrWithoutHistory) {
+  auto& host = add_host();
+  b::NeatConfig cfg;
+  cfg.overload = b::OverloadAlgo::Mad;
+  b::NeatConsolidation neat(cluster, cfg);
+  EXPECT_TRUE(neat.overloaded(host, 0.95));
+  EXPECT_FALSE(neat.overloaded(host, 0.5));
+}
+
+TEST_F(NeatFixture, MadAdaptsThresholdAfterHistory) {
+  auto& host = add_host();
+  auto& vm = add_vm(0.0);
+  cluster.place(vm.id(), host.id());
+  b::NeatConfig cfg;
+  cfg.overload = b::OverloadAlgo::Mad;
+  cfg.safety = 2.5;
+  b::NeatConsolidation neat(cluster, cfg);
+  // Feed a few stable hours of history (utilization 0 — MAD 0, threshold 1).
+  for (std::int64_t h = 1; h <= 6; ++h) neat.run_hour(h);
+  EXPECT_FALSE(neat.overloaded(host, 0.95)) << "MAD=0 keeps the threshold at 1.0";
+}
+
+TEST_F(NeatFixture, OverloadedHostShedsUntilBelowThreshold) {
+  auto& h1 = add_host();
+  auto& h2 = add_host();
+  (void)h2;
+  // 4 VMs × 2 vCPUs × 1.0 / 8 = 1.0: overloaded.
+  for (int i = 0; i < 4; ++i) {
+    auto& vm = add_vm(1.0);
+    cluster.place(vm.id(), h1.id());
+  }
+  b::NeatConsolidation neat(cluster);
+  neat.run_hour(1);
+  EXPECT_LT(cluster.host_utilization_at(h1, 1), 0.95);
+  EXPECT_GT(cluster.total_migrations(), 0);
+}
+
+TEST_F(NeatFixture, MmtPicksSmallestMemoryVm) {
+  auto& h1 = add_host();
+  auto& h2 = add_host();
+  (void)h2;
+  auto& big = add_vm(1.0, /*mem_mb=*/8000);
+  auto& small = add_vm(1.0, /*mem_mb=*/1000);
+  auto& mid1 = add_vm(1.0, /*mem_mb=*/4000);
+  auto& mid2 = add_vm(1.0, /*mem_mb=*/3000);
+  for (auto* vm : {&big, &small, &mid1, &mid2}) cluster.place(vm->id(), h1.id());
+  b::NeatConfig cfg;
+  cfg.selection = b::SelectionAlgo::Mmt;
+  b::NeatConsolidation neat(cluster, cfg);
+  neat.run_hour(1);
+  // The smallest VM migrates first under minimum-migration-time.
+  EXPECT_GT(small.migration_count(), 0);
+  EXPECT_EQ(big.migration_count(), 0);
+}
+
+TEST_F(NeatFixture, UnderloadedHostEvacuatesToActiveHost) {
+  auto& lazy = add_host();
+  auto& busy = add_host();
+  auto& idle_vm = add_vm(0.05);
+  cluster.place(idle_vm.id(), lazy.id());
+  auto& busy_vm = add_vm(0.5);
+  cluster.place(busy_vm.id(), busy.id());
+  b::NeatConsolidation neat(cluster);
+  neat.run_hour(1);
+  EXPECT_TRUE(lazy.vms().empty()) << "underloaded host evacuated";
+  EXPECT_EQ(cluster.host_of(idle_vm.id()), &busy);
+}
+
+TEST_F(NeatFixture, EvacuationAbortsWhenNoDestinationFits) {
+  auto& lazy = add_host();
+  auto& full = add_host(/*max_vms=*/1);
+  auto& idle_vm = add_vm(0.05);
+  cluster.place(idle_vm.id(), lazy.id());
+  auto& blocker = add_vm(0.5);
+  cluster.place(blocker.id(), full.id());
+  b::NeatConsolidation neat(cluster);
+  neat.run_hour(1);
+  EXPECT_FALSE(lazy.vms().empty()) << "no feasible plan: nothing moves";
+}
+
+TEST_F(NeatFixture, PabfdPrefersAlreadyLoadedHost) {
+  auto& h1 = add_host();
+  auto& h2 = add_host();
+  auto& h3 = add_host();
+  (void)h3;
+  // h2 is moderately loaded; the evacuated VM should join it rather than
+  // the empty h3 (smaller power increase on a loaded host is equal, but
+  // PABFD still picks the first minimal — verify it never lands on an
+  // overloaded host).
+  auto& mover = add_vm(0.1);
+  cluster.place(mover.id(), h1.id());
+  auto& anchor = add_vm(0.5);
+  cluster.place(anchor.id(), h2.id());
+  b::NeatConsolidation neat(cluster);
+  neat.run_hour(1);
+  EXPECT_EQ(cluster.host_of(mover.id()), &h2);
+}
+
+TEST_F(NeatFixture, LrDetectsRisingTrend) {
+  auto& host = add_host();
+  b::NeatConfig cfg;
+  cfg.overload = b::OverloadAlgo::Lr;
+  cfg.history = 8;
+  b::NeatConsolidation neat(cluster, cfg);
+  // Rising utilization history via a ramping VM trace.
+  std::vector<double> ramp;
+  for (int i = 0; i < 20; ++i) ramp.push_back(std::min(1.0, 0.1 * i));
+  auto& vm = cluster.add_vm(s::VmSpec{"ramp", 8, 2048}, t::ActivityTrace(std::move(ramp)));
+  cluster.place(vm.id(), host.id());
+  bool flagged = false;
+  for (std::int64_t h = 1; h < 12; ++h) {
+    neat.run_hour(h);
+    if (neat.overloaded(host, cluster.host_utilization_at(host, h))) flagged = true;
+  }
+  EXPECT_TRUE(flagged) << "local regression must flag a steadily rising host";
+}
+
+TEST_F(NeatFixture, RandomSelectionIsDeterministicPerSeed) {
+  // Two identical clusters with the same seed make the same choices.
+  auto run = [](std::uint64_t seed) {
+    s::EventQueue q2;
+    s::Cluster cl(q2);
+    auto& h1 = cl.add_host(s::HostSpec{"P1", 8, 16384, 4});
+    cl.add_host(s::HostSpec{"P2", 8, 16384, 4});
+    std::vector<s::VmId> ids;
+    for (int i = 0; i < 4; ++i) {
+      auto& vm = cl.add_vm(s::VmSpec{"V" + std::to_string(i), 2, 2048},
+                           t::ActivityTrace(std::vector<double>(100, 1.0)));
+      cl.place(vm.id(), h1.id());
+      ids.push_back(vm.id());
+    }
+    b::NeatConfig cfg;
+    cfg.selection = b::SelectionAlgo::Random;
+    cfg.seed = seed;
+    b::NeatConsolidation neat(cl, cfg);
+    neat.run_hour(1);
+    std::vector<int> migrations;
+    for (auto id : ids) migrations.push_back(cl.vm(id)->migration_count());
+    return migrations;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST_F(NeatFixture, NameEncodesAlgorithms) {
+  b::NeatConfig cfg;
+  cfg.overload = b::OverloadAlgo::Iqr;
+  cfg.selection = b::SelectionAlgo::Random;
+  b::NeatConsolidation neat(cluster, cfg);
+  EXPECT_EQ(neat.name(), "neat-iqr-rand");
+  EXPECT_EQ(b::NeatConsolidation(cluster).name(), "neat-thr-mmt");
+}

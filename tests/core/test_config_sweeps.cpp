@@ -1,0 +1,102 @@
+// Property-style parameterized sweeps over the idleness-model tunables:
+// for any reasonable (sigma, alpha, beta) the model must keep its
+// invariants — scores bounded, weights on the simplex, prediction
+// converging on a deterministic daily pattern.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/idleness_model.hpp"
+#include "util/sim_time.hpp"
+
+namespace c = drowsy::core;
+namespace u = drowsy::util;
+
+namespace {
+
+u::CalendarTime cal(std::int64_t hour) { return u::calendar_of(hour * u::kMsPerHour); }
+
+using Params = std::tuple<double, double, double>;  // sigma, alpha, beta
+
+class ModelParamSweep : public ::testing::TestWithParam<Params> {
+ protected:
+  c::IdlenessModelConfig config() const {
+    c::IdlenessModelConfig cfg;
+    std::tie(cfg.sigma, cfg.alpha, cfg.beta) = GetParam();
+    return cfg;
+  }
+};
+
+}  // namespace
+
+TEST_P(ModelParamSweep, ScoresStayBoundedUnderMixedInput) {
+  c::IdlenessModel model(config());
+  for (std::int64_t h = 0; h < 90 * 24; ++h) {
+    // Deterministic but irregular input pattern.
+    const double activity = (h * 2654435761u) % 7 == 0 ? 0.0 : 0.3 + 0.1 * ((h * 31) % 5);
+    model.observe_hour(cal(h), std::min(activity, 1.0));
+    if (h % 97 == 0) {
+      const auto si = model.si_vector(cal(h));
+      for (double s : si) {
+        ASSERT_GE(s, -1.0) << "hour " << h;
+        ASSERT_LE(s, 1.0) << "hour " << h;
+        ASSERT_FALSE(std::isnan(s)) << "hour " << h;
+      }
+    }
+  }
+}
+
+TEST_P(ModelParamSweep, WeightsRemainOnSimplex) {
+  c::IdlenessModel model(config());
+  for (std::int64_t h = 0; h < 45 * 24; ++h) {
+    model.observe_hour(cal(h), h % 24 < 8 ? 0.6 : 0.0);
+  }
+  double sum = 0.0;
+  for (double w : model.weights()) {
+    ASSERT_GE(w, -1e-9);
+    ASSERT_LE(w, 1.0 + 1e-9);
+    ASSERT_FALSE(std::isnan(w));
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST_P(ModelParamSweep, LearnsDailyPatternRegardlessOfTunables) {
+  c::IdlenessModel model(config());
+  // Active 10:00-12:00 every day for two months.
+  for (std::int64_t h = 0; h < 60 * 24; ++h) {
+    const int hod = static_cast<int>(h % 24);
+    model.observe_hour(cal(h), hod >= 10 && hod < 12 ? 0.7 : 0.0);
+  }
+  const std::int64_t day = 60 * 24;
+  int correct = 0;
+  for (int hod = 0; hod < 24; ++hod) {
+    const bool active_hour = hod >= 10 && hod < 12;
+    if (model.ip(cal(day + hod)).predicts_idle() != active_hour) ++correct;
+  }
+  EXPECT_GE(correct, 22) << "at most two misclassified hours of the day";
+}
+
+TEST_P(ModelParamSweep, IpRawStaysInUnitBall) {
+  c::IdlenessModel model(config());
+  for (std::int64_t h = 0; h < 30 * 24; ++h) {
+    model.observe_hour(cal(h), h % 3 == 0 ? 0.9 : 0.0);
+    const double raw = model.ip(cal(h + 1)).raw;
+    ASSERT_GE(raw, -1.0);
+    ASSERT_LE(raw, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TunableGrid, ModelParamSweep,
+    ::testing::Values(
+        // The paper's values.
+        Params{1.0 / 8760.0, 0.7, 0.5},
+        // Faster and slower score motion.
+        Params{1.0 / 720.0, 0.7, 0.5}, Params{1.0 / 87600.0, 0.7, 0.5},
+        // Damping variations.
+        Params{1.0 / 8760.0, 0.2, 0.5}, Params{1.0 / 8760.0, 2.0, 0.5},
+        Params{1.0 / 8760.0, 0.7, 0.1}, Params{1.0 / 8760.0, 0.7, 0.9},
+        // Aggressive everything (stress the clamps).
+        Params{0.05, 2.0, 0.2}));

@@ -1,0 +1,234 @@
+#include "core/idleness_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generators.hpp"
+#include "util/sim_time.hpp"
+
+namespace c = drowsy::core;
+namespace u = drowsy::util;
+namespace t = drowsy::trace;
+
+namespace {
+
+u::CalendarTime cal(std::int64_t hour) { return u::calendar_of(hour * u::kMsPerHour); }
+
+/// Run a trace through a model, returning it.
+c::IdlenessModel train(const t::ActivityTrace& trace, std::size_t hours,
+                       c::IdlenessModelConfig cfg = {}) {
+  c::IdlenessModel model(cfg);
+  for (std::size_t h = 0; h < hours; ++h) {
+    model.observe_hour(cal(static_cast<std::int64_t>(h)), trace.at_hour(h));
+  }
+  return model;
+}
+
+}  // namespace
+
+TEST(IdlenessModel, StartsUndetermined) {
+  c::IdlenessModel model;
+  const auto ip = model.ip(cal(0));
+  EXPECT_DOUBLE_EQ(ip.raw, 0.0);
+  EXPECT_DOUBLE_EQ(ip.normalized(), 0.5);
+  EXPECT_FALSE(ip.predicts_idle());
+  for (double w : model.weights()) EXPECT_DOUBLE_EQ(w, 0.25);
+}
+
+TEST(IdlenessModel, IdleHourRaisesScores) {
+  c::IdlenessModel model;
+  // Seed an active hour first so the mean active level a̅ is non-zero.
+  model.observe_hour(cal(0), 0.8);
+  const double after_active = model.si_vector(cal(48))[0];
+  model.observe_hour(cal(24), 0.0);  // same hour-of-day, next day, idle
+  const double after_idle = model.si_vector(cal(48))[0];
+  EXPECT_GT(after_idle, after_active) << "an idle hour must move SId toward idle";
+  // A second idle day tips the balance positive.
+  model.observe_hour(cal(48), 0.0);
+  EXPECT_GT(model.si_vector(cal(72))[0], 0.0);
+}
+
+TEST(IdlenessModel, ActiveHourLowersScores) {
+  c::IdlenessModel model;
+  model.observe_hour(cal(0), 0.8);
+  const auto si = model.si_vector(cal(0));
+  for (double s : si) EXPECT_LT(s, 0.0);
+}
+
+TEST(IdlenessModel, IdleWithNoHistoryUsesZeroUpdate) {
+  // A VM that has never been active has a̅ = 0, so an idle hour cannot move
+  // the scores (eq. 2 with a = a̅ = 0).
+  c::IdlenessModel model;
+  model.observe_hour(cal(0), 0.0);
+  const auto si = model.si_vector(cal(0));
+  for (double s : si) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(IdlenessModel, UpdateMagnitudeMatchesEquations) {
+  c::IdlenessModelConfig cfg;
+  cfg.learn_weights = false;
+  c::IdlenessModel model(cfg);
+  const double a = 0.8;
+  model.observe_hour(cal(0), a);
+  // v = sigma * a * u(|0|) with u(0) = 1/(1+e^{0.7*(0-0.5)}).
+  const double damping = 1.0 / (1.0 + std::exp(cfg.alpha * (0.0 - cfg.beta)));
+  const double expected = cfg.sigma * a * damping;
+  EXPECT_NEAR(model.si(c::Scale::Day, cal(0)), -expected, 1e-15);
+  EXPECT_NEAR(model.si(c::Scale::Year, cal(0)), -expected, 1e-15);
+}
+
+TEST(IdlenessModel, MeanActiveLevelTracksActiveHoursOnly) {
+  c::IdlenessModel model;
+  model.observe_hour(cal(0), 0.4);
+  model.observe_hour(cal(1), 0.0);  // idle hour must not dilute the mean
+  model.observe_hour(cal(2), 0.8);
+  EXPECT_NEAR(model.mean_active_level(), 0.6, 1e-12);
+}
+
+TEST(IdlenessModel, ScoresStayInBounds) {
+  c::IdlenessModelConfig cfg;
+  cfg.sigma = 0.5;  // absurdly fast updates to reach the bounds quickly
+  c::IdlenessModel model(cfg);
+  for (int d = 0; d < 30; ++d) {
+    model.observe_hour(cal(d * 24), 1.0);
+  }
+  const auto si = model.si_vector(cal(30 * 24));
+  for (double s : si) {
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(IdlenessModel, DampingSlowsExtremeScores) {
+  // With a score near the extreme, u(|SI|) shrinks the update (eq. 4).
+  c::IdlenessModelConfig cfg;
+  cfg.learn_weights = false;
+  c::IdlenessModel fresh(cfg);
+  fresh.observe_hour(cal(0), 1.0);
+  const double first_step = -fresh.si(c::Scale::Day, cal(0));
+
+  c::IdlenessModelConfig fast = cfg;
+  fast.sigma = 0.3;
+  c::IdlenessModel extreme(fast);
+  for (int d = 0; d < 10; ++d) extreme.observe_hour(cal(d * 24), 1.0);
+  const double before = extreme.si(c::Scale::Day, cal(0));
+  extreme.observe_hour(cal(10 * 24), 1.0);
+  const double late_step = before - extreme.si(c::Scale::Day, cal(10 * 24));
+  // Scale the late step back to sigma units for comparison.
+  EXPECT_LT(late_step / fast.sigma, first_step / cfg.sigma);
+}
+
+TEST(IdlenessModel, WeightsStayOnSimplex) {
+  c::IdlenessModel model;
+  t::GenOptions o;
+  o.years = 1;
+  const auto trace = t::daily_backup(o);
+  for (std::size_t h = 0; h < 24 * 60; ++h) {
+    model.observe_hour(cal(static_cast<std::int64_t>(h)), trace.at_hour(h));
+  }
+  double sum = 0.0;
+  for (double w : model.weights()) {
+    EXPECT_GE(w, -1e-12);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(IdlenessModel, PredictsDailyBackupAfterTwoWeeks) {
+  t::GenOptions o;
+  o.years = 1;
+  const auto trace = t::daily_backup(o, /*hour=*/2, /*duration=*/1);
+  const auto model = train(trace, 14 * 24);
+  // 3am on day 15: the backup is over, the VM will be idle.
+  std::int64_t h = 14 * 24 + 3;
+  EXPECT_TRUE(model.ip(cal(h)).predicts_idle());
+  // 2am: the backup runs — predicted active.
+  h = 14 * 24 + 2;
+  EXPECT_FALSE(model.ip(cal(h)).predicts_idle());
+}
+
+TEST(IdlenessModel, LlmuAlwaysPredictedActive) {
+  t::GenOptions o;
+  o.years = 1;
+  const auto trace = t::llmu_constant(o);
+  const auto model = train(trace, 30 * 24);
+  int predicted_idle = 0;
+  for (std::int64_t h = 30 * 24; h < 31 * 24; ++h) {
+    if (model.ip(cal(h)).predicts_idle()) ++predicted_idle;
+  }
+  EXPECT_EQ(predicted_idle, 0);
+}
+
+TEST(IdlenessModel, HigherPastActivityAcceleratesIdleLearning) {
+  // "Whenever a VM is seen idle during an hour after showing high activity
+  // levels during active hours, its SI* for this hour increases fast."
+  c::IdlenessModelConfig cfg;
+  cfg.learn_weights = false;
+  c::IdlenessModel low(cfg), high(cfg);
+  low.observe_hour(cal(0), 0.1);
+  high.observe_hour(cal(0), 0.9);
+  const double low_before = low.si(c::Scale::Day, cal(0));
+  const double high_before = high.si(c::Scale::Day, cal(0));
+  low.observe_hour(cal(24), 0.0);
+  high.observe_hour(cal(24), 0.0);
+  const double low_step = low.si(c::Scale::Day, cal(0)) - low_before;
+  const double high_step = high.si(c::Scale::Day, cal(0)) - high_before;
+  EXPECT_GT(high_step, low_step) << "higher a-bar must accelerate the idle update";
+}
+
+TEST(IdlenessModel, FixedWeightsAblation) {
+  c::IdlenessModelConfig cfg;
+  cfg.learn_weights = false;
+  c::IdlenessModel model(cfg);
+  for (int h = 0; h < 100; ++h) {
+    model.observe_hour(cal(h), h % 24 == 2 ? 0.5 : 0.0);
+  }
+  for (double w : model.weights()) EXPECT_DOUBLE_EQ(w, 0.25);
+}
+
+TEST(IdlenessModel, ObservedHoursCount) {
+  c::IdlenessModel model;
+  for (int h = 0; h < 42; ++h) model.observe_hour(cal(h), 0.1);
+  EXPECT_EQ(model.observed_hours(), 42u);
+}
+
+TEST(IdlenessModel, DistinctSlotsPerScale) {
+  // Hour 5 on Monday and hour 5 on Tuesday share SId but not SIw.
+  c::IdlenessModelConfig cfg;
+  cfg.learn_weights = false;
+  c::IdlenessModel model(cfg);
+  model.observe_hour(cal(5), 0.9);  // Monday (day 0) 05:00
+  EXPECT_LT(model.si(c::Scale::Day, cal(24 + 5)), 0.0) << "SId shared across days";
+  EXPECT_DOUBLE_EQ(model.si(c::Scale::Week, cal(24 + 5)), 0.0)
+      << "SIw slot for Tuesday 05:00 untouched";
+}
+
+TEST(IdlenessModel, NormalizedIpMapsRawRange) {
+  c::IdlenessProbability p;
+  p.raw = -1.0;
+  EXPECT_DOUBLE_EQ(p.normalized(), 0.0);
+  p.raw = 1.0;
+  EXPECT_DOUBLE_EQ(p.normalized(), 1.0);
+  p.raw = 0.0;
+  EXPECT_DOUBLE_EQ(p.normalized(), 0.5);
+}
+
+class IdlenessModelPeriodSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdlenessModelPeriodSweep, LearnsDailyPatternAtAnyHour) {
+  const int active_hour = GetParam();
+  c::IdlenessModel model;
+  // One month of: active at `active_hour`, idle otherwise.
+  for (std::int64_t h = 0; h < 30 * 24; ++h) {
+    model.observe_hour(cal(h), static_cast<int>(h % 24) == active_hour ? 0.7 : 0.0);
+  }
+  const std::int64_t day = 30 * 24;
+  for (int hour = 0; hour < 24; ++hour) {
+    const bool predicted_idle = model.ip(cal(day + hour)).predicts_idle();
+    EXPECT_EQ(predicted_idle, hour != active_hour) << "hour " << hour;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ActiveHours, IdlenessModelPeriodSweep,
+                         ::testing::Values(0, 2, 5, 9, 12, 14, 17, 20, 23));

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/idleness_model.hpp"
+#include "trace/generators.hpp"
+
+namespace c = drowsy::core;
+namespace u = drowsy::util;
+namespace t = drowsy::trace;
+
+namespace {
+
+u::CalendarTime cal(std::int64_t hour) { return u::calendar_of(hour * u::kMsPerHour); }
+
+c::IdlenessModel trained(std::size_t hours) {
+  t::GenOptions o;
+  o.years = 1;
+  const auto tr = t::comic_strips(o);
+  c::IdlenessModel model;
+  for (std::size_t h = 0; h < hours; ++h) {
+    model.observe_hour(cal(static_cast<std::int64_t>(h)), tr.at_hour(h));
+  }
+  return model;
+}
+
+}  // namespace
+
+TEST(ModelSerialization, RoundTripPreservesPredictions) {
+  const auto model = trained(60 * 24);
+  std::stringstream ss;
+  model.save(ss);
+  const auto restored = c::IdlenessModel::load(ss);
+
+  for (std::int64_t h = 60 * 24; h < 62 * 24; ++h) {
+    EXPECT_DOUBLE_EQ(restored.ip(cal(h)).raw, model.ip(cal(h)).raw) << "hour " << h;
+  }
+  EXPECT_EQ(restored.observed_hours(), model.observed_hours());
+  EXPECT_DOUBLE_EQ(restored.mean_active_level(), model.mean_active_level());
+  for (std::size_t i = 0; i < c::kScaleCount; ++i) {
+    EXPECT_DOUBLE_EQ(restored.weights()[i], model.weights()[i]);
+  }
+}
+
+TEST(ModelSerialization, RestoredModelKeepsLearning) {
+  auto model = trained(30 * 24);
+  std::stringstream ss;
+  model.save(ss);
+  auto restored = c::IdlenessModel::load(ss);
+
+  // Continue both with the same observations: they must stay identical.
+  t::GenOptions o;
+  o.years = 1;
+  const auto tr = t::comic_strips(o);
+  for (std::int64_t h = 30 * 24; h < 40 * 24; ++h) {
+    model.observe_hour(cal(h), tr.at_hour(static_cast<std::size_t>(h)));
+    restored.observe_hour(cal(h), tr.at_hour(static_cast<std::size_t>(h)));
+  }
+  EXPECT_DOUBLE_EQ(restored.ip(cal(41 * 24)).raw, model.ip(cal(41 * 24)).raw);
+}
+
+TEST(ModelSerialization, FreshModelRoundTrips) {
+  const c::IdlenessModel model;
+  std::stringstream ss;
+  model.save(ss);
+  const auto restored = c::IdlenessModel::load(ss);
+  EXPECT_EQ(restored.observed_hours(), 0u);
+  EXPECT_DOUBLE_EQ(restored.ip(cal(0)).raw, 0.0);
+}
+
+TEST(ModelSerialization, BadMagicThrows) {
+  std::stringstream ss("not-a-model 1\n");
+  EXPECT_THROW((void)c::IdlenessModel::load(ss), std::runtime_error);
+}
+
+TEST(ModelSerialization, WrongVersionThrows) {
+  std::stringstream ss("drowsy-im 999\n");
+  EXPECT_THROW((void)c::IdlenessModel::load(ss), std::runtime_error);
+}
+
+TEST(ModelSerialization, TruncatedStreamThrows) {
+  const auto model = trained(24);
+  std::stringstream ss;
+  model.save(ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)c::IdlenessModel::load(cut), std::runtime_error);
+}
+
+TEST(ModelSerialization, EmptyStreamThrows) {
+  std::stringstream ss;
+  EXPECT_THROW((void)c::IdlenessModel::load(ss), std::runtime_error);
+}

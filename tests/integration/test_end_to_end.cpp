@@ -1,0 +1,227 @@
+// End-to-end integration: a miniature of the paper's real-environment
+// experiment (§VI-A), checking the *shape* of the published results:
+// Drowsy-DC's idleness-aware placement yields more suspension time than a
+// Neat-style baseline, identical workloads get colocated, the grace time
+// suppresses suspend/resume oscillation, and energy ordering matches.
+#include <gtest/gtest.h>
+
+#include "baselines/neat.hpp"
+#include "core/drowsy.hpp"
+#include "metrics/colocation.hpp"
+#include "trace/generators.hpp"
+
+namespace c = drowsy::core;
+namespace s = drowsy::sim;
+namespace n = drowsy::net;
+namespace u = drowsy::util;
+namespace t = drowsy::trace;
+namespace b = drowsy::baselines;
+
+namespace {
+
+/// The paper's testbed in miniature: 4 pool hosts (P2–P5), 2 LLMU VMs and
+/// 6 LLMI VMs (V3/V4 share a workload), 2 VMs max per host.
+struct Testbed {
+  s::EventQueue queue;
+  s::Cluster cluster{queue};
+  n::SdnSwitch sw{queue};
+
+  Testbed() {
+    for (int i = 0; i < 4; ++i) {
+      cluster.add_host(s::HostSpec{"P" + std::to_string(i + 2), 8, 16384, 2});
+    }
+    t::GenOptions o;
+    o.years = 1;
+    o.noise = 0.02;
+    auto llmu1 = t::llmu_constant(o);
+    o.seed = 43;
+    auto llmu2 = t::llmu_constant(o);
+    add("V1", llmu1);
+    add("V2", llmu2);
+    const auto week = t::nutanix_week();
+    add("V3", week[0].extended_to(u::kHoursPerYear));
+    add("V4", week[0].extended_to(u::kHoursPerYear));  // same workload as V3
+    add("V5", week[1].extended_to(u::kHoursPerYear));
+    add("V6", week[2].extended_to(u::kHoursPerYear));
+    add("V7", week[3].extended_to(u::kHoursPerYear));
+    add("V8", week[4].extended_to(u::kHoursPerYear));
+    // Initial placement: interleaved so consolidation has work to do.
+    for (s::VmId id = 0; id < 8; ++id) cluster.place(id, id % 4);
+  }
+
+  void add(const std::string& name, const t::ActivityTrace& trace) {
+    cluster.add_vm(s::VmSpec{name, 2, 6144}, trace);
+  }
+};
+
+}  // namespace
+
+TEST(EndToEnd, DrowsySuspendsMoreThanNeat) {
+  double drowsy_fraction = 0.0, neat_fraction = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    Testbed tb;
+    c::ControllerOptions opts;
+    opts.relocate_all = pass == 0;
+    opts.requests.base_rate_per_hour = 40;
+    opts.drowsy.suspend.use_grace_time = pass == 0;  // Neat: no grace (§VI-A-1)
+    c::Controller controller(tb.cluster, tb.sw, opts);
+    b::NeatConsolidation neat(tb.cluster);
+    if (pass == 1) controller.set_policy(&neat);
+    controller.install();
+    controller.pretrain_models(14 * 24);
+    controller.run_hours(3 * 24);
+
+    double total = 0.0;
+    for (const auto& host : tb.cluster.hosts()) {
+      host->account_now();
+      total += host->suspended_fraction(0);
+    }
+    (pass == 0 ? drowsy_fraction : neat_fraction) = total / 4.0;
+  }
+  EXPECT_GT(drowsy_fraction, 0.2);
+  EXPECT_GT(drowsy_fraction, neat_fraction)
+      << "idleness-aware placement must beat Neat on suspension time";
+}
+
+TEST(EndToEnd, IdenticalWorkloadsColocate) {
+  Testbed tb;
+  c::ControllerOptions opts;
+  opts.relocate_all = true;
+  opts.requests.base_rate_per_hour = 20;
+  c::Controller controller(tb.cluster, tb.sw, opts);
+  controller.install();
+  controller.pretrain_models(21 * 24);
+
+  drowsy::metrics::ColocationMatrix matrix(8);
+  controller.run_hours(3 * 24, [&](std::int64_t) { matrix.sample(tb.cluster); });
+
+  // V3 (index 2) and V4 (index 3) share a workload: they must be together
+  // most of the time.  The two LLMU VMs (0, 1) likewise pack together.
+  EXPECT_GT(matrix.percent(2, 3), 60.0);
+  EXPECT_GT(matrix.percent(0, 1), 60.0);
+  // An LLMU VM never pairs long with the backup-style V3.
+  EXPECT_LT(matrix.percent(0, 2), 30.0);
+}
+
+TEST(EndToEnd, MigrationCountsStayLow) {
+  Testbed tb;
+  c::ControllerOptions opts;
+  opts.relocate_all = true;
+  opts.requests.base_rate_per_hour = 20;
+  c::Controller controller(tb.cluster, tb.sw, opts);
+  controller.install();
+  controller.pretrain_models(21 * 24);
+  controller.run_hours(3 * 24);
+  // Fig. 2: single-digit migrations per VM despite hourly relocation.
+  for (const auto& vm : tb.cluster.vms()) {
+    EXPECT_LE(vm->migration_count(), 9) << vm->name();
+  }
+}
+
+TEST(EndToEnd, EnergyOrderingMatchesPaper) {
+  // Drowsy-DC < Neat+S3 < Neat-without-suspension (18/24/40 kWh shape).
+  double kwh[3] = {0, 0, 0};
+  for (int pass = 0; pass < 3; ++pass) {
+    Testbed tb;
+    c::ControllerOptions opts;
+    opts.requests.base_rate_per_hour = 40;
+    opts.relocate_all = pass == 0;
+    opts.drowsy.suspend.enabled = pass != 2;
+    opts.drowsy.suspend.use_grace_time = pass == 0;
+    c::Controller controller(tb.cluster, tb.sw, opts);
+    b::NeatConsolidation neat(tb.cluster);
+    if (pass != 0) controller.set_policy(&neat);
+    controller.install();
+    controller.pretrain_models(14 * 24);
+    controller.run_hours(3 * 24);
+    kwh[pass] = tb.cluster.total_kwh();
+  }
+  EXPECT_LT(kwh[0], kwh[1]) << "Drowsy-DC must beat Neat+S3";
+  EXPECT_LT(kwh[1], kwh[2]) << "suspension must beat no suspension";
+  EXPECT_LT(kwh[0], 0.6 * kwh[2]) << "roughly the paper's ~55% saving";
+}
+
+TEST(EndToEnd, GraceTimePreventsOscillation) {
+  // A flapping service: 1 active hour, 1 idle hour, repeatedly — with an
+  // aggressive check interval, no grace time causes many suspend cycles.
+  auto run = [](bool grace) {
+    s::EventQueue queue;
+    s::Cluster cluster(queue);
+    n::SdnSwitch sw(queue);
+    cluster.add_host(s::HostSpec{"P1", 8, 16384, 2});
+    std::vector<double> flap(600);
+    for (std::size_t h = 0; h < flap.size(); ++h) flap[h] = h % 2 == 0 ? 0.3 : 0.0;
+    cluster.add_vm(s::VmSpec{"V1", 2, 6144}, t::ActivityTrace(std::move(flap)));
+    cluster.place(0, 0);
+    c::ControllerOptions opts;
+    opts.drowsy.suspend.use_grace_time = grace;
+    opts.drowsy.suspend.check_interval = u::seconds(10);
+    opts.requests.base_rate_per_hour = 200;
+    c::Controller controller(cluster, sw, opts);
+    controller.install();
+    controller.run_hours(48);
+    return cluster.hosts()[0]->suspend_count();
+  };
+  const int with_grace = run(true);
+  const int without_grace = run(false);
+  EXPECT_LE(with_grace, without_grace)
+      << "grace time must not increase suspend/resume churn";
+}
+
+TEST(EndToEnd, WakingModuleFailoverKeepsWakesWorking) {
+  // Kill the primary waking module mid-run: the heartbeat monitor must
+  // promote the mirrored standby, and hosts must still wake for requests
+  // afterwards (paper §V fault tolerance).
+  s::EventQueue queue;
+  s::Cluster cluster(queue);
+  n::SdnSwitch sw(queue);
+  cluster.add_host(s::HostSpec{"P1", 8, 16384, 2});
+  // Idle for 5 hours, active the 6th — plenty of suspension with
+  // wake-ups on every active burst.
+  std::vector<double> pattern(100 * 24, 0.0);
+  for (std::size_t h = 5; h < pattern.size(); h += 6) pattern[h] = 0.4;
+  cluster.add_vm(s::VmSpec{"V1", 2, 6144}, t::ActivityTrace(std::move(pattern)));
+  cluster.place(0, 0);
+
+  c::ControllerOptions opts;
+  opts.requests.base_rate_per_hour = 120;
+  opts.waking_standby = true;
+  c::Controller controller(cluster, sw, opts);
+  controller.install();
+
+  // Run 12 h healthy, then crash the primary and run 12 h more.
+  controller.run_hours(12);
+  const auto wakes_before = controller.waking_primary().stats().packet_wakes;
+  EXPECT_GT(wakes_before, 0u);
+  controller.waking_primary().deactivate();   // the crash
+  controller.waking_pair_kill_primary();      // stop its heartbeats
+  controller.run_hours(12);
+
+  ASSERT_NE(controller.waking_standby(), nullptr);
+  EXPECT_TRUE(controller.waking_standby()->active())
+      << "heartbeat failover must promote the standby";
+  EXPECT_GT(controller.waking_standby()->stats().packet_wakes, 0u)
+      << "the promoted standby must keep waking hosts";
+  // Requests kept completing after the failover.
+  EXPECT_GT(controller.fabric().stats().total, 0u);
+  EXPECT_GT(controller.fabric().stats().sla_attainment(5000.0), 0.99)
+      << "no request may hang waiting for a dead waking module";
+}
+
+TEST(EndToEnd, SlaHoldsUnderDrowsyDc) {
+  Testbed tb;
+  c::ControllerOptions opts;
+  opts.relocate_all = true;
+  opts.requests.base_rate_per_hour = 60;
+  c::Controller controller(tb.cluster, tb.sw, opts);
+  controller.install();
+  controller.pretrain_models(14 * 24);
+  controller.run_hours(2 * 24);
+  const auto& stats = controller.fabric().stats();
+  ASSERT_GT(stats.total, 100u);
+  // Paper: >99% of requests within 200 ms; wake-ups cost ≈0.8–1.5 s.
+  EXPECT_GT(stats.sla_attainment(200.0), 0.95);
+  if (!stats.wake_latencies_ms.empty()) {
+    EXPECT_LT(stats.wake_latencies_ms.max(), 10'000.0);
+  }
+}

@@ -1,0 +1,89 @@
+#include "kern/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace k = drowsy::kern;
+
+TEST(Blacklist, ExactMatch) {
+  k::Blacklist b;
+  b.add_exact("watchdog");
+  EXPECT_TRUE(b.contains("watchdog"));
+  EXPECT_FALSE(b.contains("watchdogs"));
+  EXPECT_FALSE(b.contains("watch"));
+}
+
+TEST(Blacklist, PrefixMatch) {
+  k::Blacklist b;
+  b.add_prefix("kworker");
+  EXPECT_TRUE(b.contains("kworker/0:1"));
+  EXPECT_TRUE(b.contains("kworker"));
+  EXPECT_FALSE(b.contains("worker"));
+}
+
+TEST(Blacklist, StandardRulesCoverKernelAndMonitoring) {
+  const k::Blacklist b = k::Blacklist::standard();
+  EXPECT_TRUE(b.contains("kworker/3:2"));
+  EXPECT_TRUE(b.contains("ksoftirqd/0"));
+  EXPECT_TRUE(b.contains("rcu_sched"));
+  EXPECT_TRUE(b.contains("watchdog"));
+  EXPECT_TRUE(b.contains("monitoring-agent"));
+  EXPECT_TRUE(b.contains("drowsy-suspendd"));
+  EXPECT_FALSE(b.contains("webserver"));
+  EXPECT_FALSE(b.contains("backup-service"));
+  EXPECT_GE(b.rule_count(), 5u);
+}
+
+TEST(ProcessTable, SpawnAssignsUniquePids) {
+  k::ProcessTable t;
+  const k::Pid a = t.spawn("a");
+  const k::Pid b = t.spawn("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(ProcessTable, FindAndState) {
+  k::ProcessTable t;
+  const k::Pid pid = t.spawn("svc", k::ProcState::Sleeping);
+  ASSERT_NE(t.find(pid), nullptr);
+  EXPECT_EQ(t.find(pid)->state, k::ProcState::Sleeping);
+  t.set_state(pid, k::ProcState::Running);
+  EXPECT_EQ(t.find(pid)->state, k::ProcState::Running);
+  EXPECT_EQ(t.find(9999), nullptr);
+}
+
+TEST(ProcessTable, Reap) {
+  k::ProcessTable t;
+  const k::Pid pid = t.spawn("gone");
+  EXPECT_TRUE(t.reap(pid));
+  EXPECT_FALSE(t.reap(pid));
+  EXPECT_EQ(t.find(pid), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(ProcessTable, CountIf) {
+  k::ProcessTable t;
+  t.spawn("a", k::ProcState::Running);
+  t.spawn("b", k::ProcState::Running);
+  t.spawn("c", k::ProcState::BlockedIo);
+  EXPECT_EQ(t.count_if([](const k::Process& p) { return p.state == k::ProcState::Running; }),
+            2u);
+  EXPECT_EQ(
+      t.count_if([](const k::Process& p) { return p.state == k::ProcState::BlockedIo; }),
+      1u);
+}
+
+TEST(ProcessTable, ForEachVisitsAll) {
+  k::ProcessTable t;
+  t.spawn("x");
+  t.spawn("y");
+  int visits = 0;
+  t.for_each([&visits](const k::Process&) { ++visits; });
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(ProcState, ToString) {
+  EXPECT_STREQ(k::to_string(k::ProcState::Running), "running");
+  EXPECT_STREQ(k::to_string(k::ProcState::Sleeping), "sleeping");
+  EXPECT_STREQ(k::to_string(k::ProcState::BlockedIo), "blocked-io");
+  EXPECT_STREQ(k::to_string(k::ProcState::Zombie), "zombie");
+}

@@ -1,0 +1,78 @@
+#include "metrics/colocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+
+namespace m = drowsy::metrics;
+namespace s = drowsy::sim;
+namespace t = drowsy::trace;
+
+namespace {
+
+struct ColocationFixture : ::testing::Test {
+  s::EventQueue q;
+  s::Cluster cluster{q};
+
+  void SetUp() override {
+    cluster.add_host(s::HostSpec{"P1", 8, 16384, 2});
+    cluster.add_host(s::HostSpec{"P2", 8, 16384, 2});
+    for (int i = 0; i < 4; ++i) {
+      cluster.add_vm(s::VmSpec{"V" + std::to_string(i + 1), 2, 6144},
+                     t::ActivityTrace({0.0}));
+    }
+  }
+};
+
+}  // namespace
+
+TEST_F(ColocationFixture, DiagonalIsHundred) {
+  m::ColocationMatrix matrix(4);
+  EXPECT_DOUBLE_EQ(matrix.percent(0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(matrix.percent(2, 2), 100.0);
+}
+
+TEST_F(ColocationFixture, NoSamplesMeansZero) {
+  m::ColocationMatrix matrix(4);
+  EXPECT_DOUBLE_EQ(matrix.percent(0, 1), 0.0);
+}
+
+TEST_F(ColocationFixture, TracksPairsOverSamples) {
+  cluster.place(0, 0);
+  cluster.place(1, 0);
+  cluster.place(2, 1);
+  cluster.place(3, 1);
+  m::ColocationMatrix matrix(4);
+  matrix.sample(cluster);
+  matrix.sample(cluster);
+  // Swap V2 and V3, sample twice more.
+  ASSERT_TRUE(cluster.apply_assignment({{1, 1}, {2, 0}}));
+  matrix.sample(cluster);
+  matrix.sample(cluster);
+
+  EXPECT_DOUBLE_EQ(matrix.percent(0, 1), 50.0);
+  EXPECT_DOUBLE_EQ(matrix.percent(0, 2), 50.0);
+  EXPECT_DOUBLE_EQ(matrix.percent(2, 3), 50.0);
+  EXPECT_DOUBLE_EQ(matrix.percent(1, 0), matrix.percent(0, 1)) << "symmetric";
+  EXPECT_EQ(matrix.samples(), 4u);
+}
+
+TEST_F(ColocationFixture, UnplacedVmsNeverColocated) {
+  cluster.place(0, 0);
+  m::ColocationMatrix matrix(4);
+  matrix.sample(cluster);
+  for (int j = 1; j < 4; ++j) EXPECT_DOUBLE_EQ(matrix.percent(0, j), 0.0);
+}
+
+TEST_F(ColocationFixture, TableRendersAllVmsAndMigrations) {
+  cluster.place(0, 0);
+  cluster.place(1, 0);
+  cluster.place(2, 1);
+  cluster.place(3, 1);
+  m::ColocationMatrix matrix(4);
+  matrix.sample(cluster);
+  const std::string table = matrix.to_table(cluster);
+  EXPECT_NE(table.find("V1"), std::string::npos);
+  EXPECT_NE(table.find("V4"), std::string::npos);
+  EXPECT_NE(table.find("#mig"), std::string::npos);
+}

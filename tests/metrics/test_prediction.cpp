@@ -1,0 +1,97 @@
+#include "metrics/prediction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m = drowsy::metrics;
+
+TEST(ConfusionCounter, CountsAllFourCells) {
+  m::ConfusionCounter c;
+  c.add(true, true);    // TP
+  c.add(true, false);   // FP
+  c.add(false, true);   // FN
+  c.add(false, false);  // TN
+  EXPECT_EQ(c.tp(), 1u);
+  EXPECT_EQ(c.fp(), 1u);
+  EXPECT_EQ(c.fn(), 1u);
+  EXPECT_EQ(c.tn(), 1u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(ConfusionCounter, TableThreeFormulas) {
+  // Table III: recall = TP/(TP+FN), precision = TP/(TP+FP),
+  // F = 2rp/(r+p), specificity = TN/(TN+FP).
+  m::ConfusionCounter c;
+  for (int i = 0; i < 8; ++i) c.add(true, true);    // TP = 8
+  for (int i = 0; i < 2; ++i) c.add(true, false);   // FP = 2
+  for (int i = 0; i < 4; ++i) c.add(false, true);   // FN = 4
+  for (int i = 0; i < 6; ++i) c.add(false, false);  // TN = 6
+  EXPECT_DOUBLE_EQ(c.recall(), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 8.0 / 10.0);
+  EXPECT_DOUBLE_EQ(c.specificity(), 6.0 / 8.0);
+  const double r = 8.0 / 12.0, p = 8.0 / 10.0;
+  EXPECT_DOUBLE_EQ(c.f_measure(), 2 * r * p / (r + p));
+}
+
+TEST(ConfusionCounter, UndefinedMetricsDefaultToOne) {
+  m::ConfusionCounter c;
+  EXPECT_DOUBLE_EQ(c.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.specificity(), 1.0);
+  // All-negative stream: specificity meaningful, recall/precision default.
+  c.add(false, false);
+  EXPECT_DOUBLE_EQ(c.specificity(), 1.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 1.0);
+}
+
+TEST(ConfusionCounter, PerfectPredictor) {
+  m::ConfusionCounter c;
+  for (int i = 0; i < 10; ++i) c.add(i % 2 == 0, i % 2 == 0);
+  EXPECT_DOUBLE_EQ(c.f_measure(), 1.0);
+  EXPECT_DOUBLE_EQ(c.specificity(), 1.0);
+}
+
+TEST(ConfusionCounter, RemoveUndoesAdd) {
+  m::ConfusionCounter c;
+  c.add(true, true);
+  c.add(true, false);
+  c.remove(true, false);
+  EXPECT_EQ(c.tp(), 1u);
+  EXPECT_EQ(c.fp(), 0u);
+  EXPECT_DOUBLE_EQ(c.precision(), 1.0);
+}
+
+TEST(WindowedConfusion, SlidesOutOldEntries) {
+  m::WindowedConfusion w(3);
+  w.add(true, false);  // FP — will slide out
+  w.add(true, true);
+  w.add(true, true);
+  EXPECT_EQ(w.counts().fp(), 1u);
+  w.add(true, true);  // evicts the FP
+  EXPECT_EQ(w.counts().fp(), 0u);
+  EXPECT_EQ(w.counts().tp(), 3u);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.counts().precision(), 1.0);
+}
+
+TEST(WindowedConfusion, WindowOfOne) {
+  m::WindowedConfusion w(1);
+  w.add(true, true);
+  w.add(false, false);
+  EXPECT_EQ(w.counts().total(), 1u);
+  EXPECT_EQ(w.counts().tn(), 1u);
+}
+
+TEST(WindowedConfusion, MatchesUnwindowedBeforeFull) {
+  m::WindowedConfusion w(100);
+  m::ConfusionCounter c;
+  for (int i = 0; i < 50; ++i) {
+    const bool pred = i % 3 == 0;
+    const bool actual = i % 2 == 0;
+    w.add(pred, actual);
+    c.add(pred, actual);
+  }
+  EXPECT_EQ(w.counts().tp(), c.tp());
+  EXPECT_EQ(w.counts().fp(), c.fp());
+  EXPECT_EQ(w.counts().fn(), c.fn());
+  EXPECT_EQ(w.counts().tn(), c.tn());
+}

@@ -1,0 +1,107 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace s = drowsy::sim;
+namespace u = drowsy::util;
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  s::EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(u::seconds(30), [&] { order.push_back(3); });
+  q.schedule_at(u::seconds(10), [&] { order.push_back(1); });
+  q.schedule_at(u::seconds(20), [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  s::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(u::seconds(5), [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  s::EventQueue q;
+  u::SimTime seen = -1;
+  q.schedule_at(u::minutes(5), [&] { seen = q.now(); });
+  q.run_all();
+  EXPECT_EQ(seen, u::minutes(5));
+  EXPECT_EQ(q.now(), u::minutes(5));
+}
+
+TEST(EventQueue, RunUntilAdvancesClockEvenWithoutEvents) {
+  s::EventQueue q;
+  q.run_until(u::hours(2.0));
+  EXPECT_EQ(q.now(), u::hours(2.0));
+}
+
+TEST(EventQueue, RunUntilExecutesOnlyDueEvents) {
+  s::EventQueue q;
+  int fired = 0;
+  q.schedule_at(u::seconds(10), [&] { ++fired; });
+  q.schedule_at(u::seconds(30), [&] { ++fired; });
+  q.run_until(u::seconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(u::seconds(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  s::EventQueue q;
+  u::SimTime fired_at = -1;
+  q.schedule_at(u::seconds(10), [&] {
+    q.schedule_after(u::seconds(5), [&] { fired_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_EQ(fired_at, u::seconds(15));
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute) {
+  s::EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_after(u::seconds(1), recurse);
+  };
+  q.schedule_at(0, recurse);
+  q.run_all();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(EventQueue, RunAllRespectsEventBudget) {
+  s::EventQueue q;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    q.schedule_after(u::seconds(1), forever);
+  };
+  q.schedule_at(0, forever);
+  q.run_all(/*max_events=*/100);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  s::EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(0, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, StartTimeOffset) {
+  s::EventQueue q(u::hours(100.0));
+  EXPECT_EQ(q.now(), u::hours(100.0));
+  int fired = 0;
+  q.schedule_after(u::seconds(1), [&] { ++fired; });
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), u::hours(100.0) + u::seconds(1));
+}

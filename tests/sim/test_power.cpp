@@ -1,0 +1,64 @@
+#include "sim/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace s = drowsy::sim;
+namespace u = drowsy::util;
+
+TEST(PowerModel, PaperAnchors) {
+  const s::PowerModel m;
+  // "The energy consumed by a host when suspended is about 5W, around 10%
+  // of the consumption in idle S0 state" (§VI-A-2).
+  EXPECT_DOUBLE_EQ(m.watts(s::PowerState::S3, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(m.watts(s::PowerState::S0, 0.0), 50.0);
+  EXPECT_NEAR(m.suspend_watts / m.idle_watts, 0.10, 1e-9);
+}
+
+TEST(PowerModel, LinearInUtilization) {
+  const s::PowerModel m;
+  EXPECT_DOUBLE_EQ(m.watts(s::PowerState::S0, 1.0), m.peak_watts);
+  EXPECT_DOUBLE_EQ(m.watts(s::PowerState::S0, 0.5),
+                   m.idle_watts + 0.5 * (m.peak_watts - m.idle_watts));
+}
+
+TEST(PowerModel, TransitionsDrawTransitionPower) {
+  const s::PowerModel m;
+  EXPECT_DOUBLE_EQ(m.watts(s::PowerState::Suspending, 0.7), m.transition_watts);
+  EXPECT_DOUBLE_EQ(m.watts(s::PowerState::Resuming, 0.0), m.transition_watts);
+}
+
+TEST(PowerModel, SuspendedIgnoresUtilization) {
+  const s::PowerModel m;
+  EXPECT_DOUBLE_EQ(m.watts(s::PowerState::S3, 1.0), m.suspend_watts);
+}
+
+TEST(PowerModel, ResumeLatencies) {
+  const s::PowerModel m;
+  // §VI-A-3: ≈1500 ms naive, ≈800 ms with quick resume.
+  EXPECT_EQ(m.resume_latency, u::seconds(1.5));
+  EXPECT_EQ(m.quick_resume_latency, u::seconds(0.8));
+  EXPECT_LT(m.quick_resume_latency, m.resume_latency);
+}
+
+TEST(EnergyMeter, IntegratesWattSeconds) {
+  s::EnergyMeter meter;
+  meter.add(u::hours(1.0), 1000.0);  // 1 kW for 1 h = 1 kWh
+  EXPECT_NEAR(meter.kwh(), 1.0, 1e-9);
+  EXPECT_NEAR(meter.watt_hours(), 1000.0, 1e-6);
+}
+
+TEST(EnergyMeter, Accumulates) {
+  s::EnergyMeter meter;
+  meter.add(u::minutes(30), 100.0);
+  meter.add(u::minutes(30), 100.0);
+  EXPECT_NEAR(meter.watt_hours(), 100.0, 1e-9);
+  meter.reset();
+  EXPECT_EQ(meter.joules(), 0.0);
+}
+
+TEST(PowerState, Names) {
+  EXPECT_STREQ(s::to_string(s::PowerState::S0), "S0");
+  EXPECT_STREQ(s::to_string(s::PowerState::S3), "S3");
+  EXPECT_STREQ(s::to_string(s::PowerState::Suspending), "suspending");
+  EXPECT_STREQ(s::to_string(s::PowerState::Resuming), "resuming");
+}

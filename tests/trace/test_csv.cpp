@@ -1,0 +1,61 @@
+#include "trace/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace t = drowsy::trace;
+
+TEST(TraceCsv, RoundTrip) {
+  std::vector<t::ActivityTrace> traces;
+  traces.emplace_back(std::vector<double>{0.1, 0.2, 0.3}, "a");
+  traces.emplace_back(std::vector<double>{0.9, 0.8}, "b");
+  std::stringstream ss;
+  t::write_csv(ss, traces);
+  const auto loaded = t::read_csv(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name(), "a");
+  EXPECT_EQ(loaded[1].name(), "b");
+  EXPECT_EQ(loaded[0].hours(), traces[0].hours());
+  EXPECT_EQ(loaded[1].hours(), traces[1].hours());
+}
+
+TEST(TraceCsv, UnevenColumnsPadWithEmptyCells) {
+  std::vector<t::ActivityTrace> traces;
+  traces.emplace_back(std::vector<double>{0.1}, "short");
+  traces.emplace_back(std::vector<double>{0.5, 0.6, 0.7}, "long");
+  std::stringstream ss;
+  t::write_csv(ss, traces);
+  const auto loaded = t::read_csv(ss);
+  EXPECT_EQ(loaded[0].size(), 1u);
+  EXPECT_EQ(loaded[1].size(), 3u);
+}
+
+TEST(TraceCsv, EmptyInputThrows) {
+  std::stringstream ss;
+  EXPECT_THROW((void)t::read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, BadNumberThrows) {
+  std::stringstream ss("a,b\n0.1,zzz\n");
+  EXPECT_THROW((void)t::read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, ExtraColumnThrows) {
+  std::stringstream ss("a\n0.1,0.2\n");
+  EXPECT_THROW((void)t::read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, FileRoundTrip) {
+  std::vector<t::ActivityTrace> traces;
+  traces.emplace_back(std::vector<double>{0.25, 0.75}, "file-test");
+  const std::string path = ::testing::TempDir() + "/drowsy_trace_test.csv";
+  t::save_csv(path, traces);
+  const auto loaded = t::load_csv(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].hours(), traces[0].hours());
+}
+
+TEST(TraceCsv, MissingFileThrows) {
+  EXPECT_THROW((void)t::load_csv("/nonexistent/nope.csv"), std::runtime_error);
+}

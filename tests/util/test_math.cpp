@@ -1,0 +1,141 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace u = drowsy::util;
+
+TEST(Math, Clamp) {
+  EXPECT_EQ(u::clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(u::clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(u::clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(Math, LogisticDampingPaperValues) {
+  // Paper eq. (4) with alpha=0.7, beta=0.5: u is a decreasing function of
+  // |SI| crossing 1/2 at |SI| = beta.
+  const double alpha = 0.7, beta = 0.5;
+  EXPECT_NEAR(u::logistic_damping(beta, alpha, beta), 0.5, 1e-12);
+  EXPECT_GT(u::logistic_damping(0.0, alpha, beta), 0.5);
+  EXPECT_LT(u::logistic_damping(1.0, alpha, beta), 0.5);
+  // Monotone decreasing.
+  double prev = 2.0;
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    const double v = u::logistic_damping(x, alpha, beta);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Math, DotAndNorm) {
+  const std::array<double, 3> a{1.0, 2.0, 3.0};
+  const std::array<double, 3> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(u::dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(u::l2_norm(std::array<double, 2>{3.0, 4.0}), 5.0);
+}
+
+TEST(Math, SimplexProjectionAlreadyOnSimplex) {
+  std::array<double, 4> w{0.25, 0.25, 0.25, 0.25};
+  u::project_to_simplex(w);
+  for (double x : w) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(Math, SimplexProjectionClipsNegatives) {
+  std::array<double, 3> w{1.5, -0.2, 0.1};
+  u::project_to_simplex(w);
+  double sum = 0.0;
+  for (double x : w) {
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The dominant coordinate stays dominant.
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[0], w[2]);
+}
+
+class SimplexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexProperty, RandomVectorsProjectOntoSimplex) {
+  u::Rng rng(GetParam());
+  std::vector<double> v(4);
+  for (auto& x : v) x = rng.uniform(-2.0, 2.0);
+  u::project_to_simplex(v);
+  double sum = 0.0;
+  for (double x : v) {
+    EXPECT_GE(x, -1e-12);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(SimplexProperty, ProjectionIsIdempotent) {
+  u::Rng rng(GetParam() ^ 0xABCD);
+  std::vector<double> v(5);
+  for (auto& x : v) x = rng.uniform(-1.0, 3.0);
+  u::project_to_simplex(v);
+  std::vector<double> once = v;
+  u::project_to_simplex(v);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(v[i], once[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(Math, SteepestDescentQuadraticBowl) {
+  // f(x) = (x0-3)^2 + (x1+1)^2 has its minimum at (3, -1).
+  const std::array<double, 2> x0{0.0, 0.0};
+  u::DescentOptions opts;
+  opts.learning_rate = 0.2;
+  opts.max_iterations = 200;
+  const auto result = u::steepest_descent(
+      x0,
+      [](std::span<const double> x) {
+        return (x[0] - 3) * (x[0] - 3) + (x[1] + 1) * (x[1] + 1);
+      },
+      [](std::span<const double> x, std::span<double> g) {
+        g[0] = 2 * (x[0] - 3);
+        g[1] = 2 * (x[1] + 1);
+      },
+      opts);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-3);
+  EXPECT_LT(result.value, 1e-5);
+}
+
+TEST(Math, SteepestDescentRespectsProjection) {
+  // Minimize (w . si - target)^2 constrained to the simplex.
+  const std::array<double, 2> x0{0.5, 0.5};
+  const std::array<double, 2> si{1.0, -1.0};
+  const double target = 1.0;  // only reachable at w = (1, 0)
+  u::DescentOptions opts;
+  opts.learning_rate = 0.1;
+  opts.max_iterations = 500;
+  opts.project = [](std::span<double> w) { u::project_to_simplex(w); };
+  const auto result = u::steepest_descent(
+      x0,
+      [&](std::span<const double> w) {
+        const double e = u::dot(w, si) - target;
+        return e * e;
+      },
+      [&](std::span<const double> w, std::span<double> g) {
+        const double e = u::dot(w, si) - target;
+        for (std::size_t i = 0; i < 2; ++i) g[i] = 2 * e * si[i];
+      },
+      opts);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-2);
+}
+
+TEST(Math, SteepestDescentConvergesFlagOnZeroGradient) {
+  const std::array<double, 1> x0{4.0};
+  const auto result = u::steepest_descent(
+      x0, [](std::span<const double>) { return 0.0; },
+      [](std::span<const double>, std::span<double> g) { g[0] = 0.0; });
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.x[0], 4.0);
+}

@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace u = drowsy::util;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  u::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  u::ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ThreadCountDefaultsToAtLeastOne) {
+  u::ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  u::ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  u::parallel_for(pool, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForZeroIterations) {
+  u::ThreadPool pool(2);
+  bool touched = false;
+  u::parallel_for(pool, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForSingleIteration) {
+  u::ThreadPool pool(2);
+  int value = 0;
+  u::parallel_for(pool, 1, [&](std::size_t i) { value = static_cast<int>(i) + 41; });
+  EXPECT_EQ(value, 41);
+}
+
+TEST(ThreadPool, ParallelForSumMatchesSerial) {
+  u::ThreadPool pool(3);
+  const std::size_t n = 5000;
+  std::vector<long> out(n, 0);
+  u::parallel_for(pool, n, [&](std::size_t i) { out[i] = static_cast<long>(i) * 3; });
+  long sum = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(sum, 3L * (n - 1) * n / 2);
+}
+
+TEST(ThreadPool, TasksSubmittedFromTasks) {
+  u::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, DefaultPoolIsSingleton) {
+  EXPECT_EQ(&u::default_pool(), &u::default_pool());
+}
