@@ -7,40 +7,31 @@
 // "outperforms Oasis ... by an average of 81%".  We reconstruct the study
 // as an energy sweep over the LLMI fraction of the VM population.
 //
-// The LLMI population is phase-structured (daily activity windows at six
-// different phases, like services serving different time zones), which is
-// where placement quality shows: grouping VMs with *matching* idleness
-// lets their hosts sleep, while load-based packing (Neat) concentrates
-// VMs of every phase onto few hosts that then never sleep, and pairwise
-// history matching (Oasis) forms good pairs but mixes phases when packing
-// pairs onto multi-slot hosts.
+// The workload is the registry's "paper-sim-phases" scenario (daily
+// activity windows at six different phases, like services serving
+// different time zones), re-mixed per sweep point: this driver only owns
+// the LLMI-fraction axis and the reporting; cluster construction, policy
+// wiring and execution live in src/scenario.  Note one deviation from the
+// pre-scenario driver: VM groups are contiguous by phase (the declarative
+// mix has no interleaving), so round-robin initial placement starts each
+// host with a different phase blend than the old phase = i % 6 ordering —
+// the sweep's *relative* policy gaps, not exact kWh, are the anchor.
 //
 //   --ablate   also run Drowsy-DC without the opportunistic 7-sigma step
 #include <cstdio>
 #include <cstring>
-#include <memory>
 #include <vector>
 
-#include "baselines/neat.hpp"
-#include "baselines/oasis.hpp"
-#include "core/drowsy.hpp"
-#include "trace/generators.hpp"
-#include "util/rng.hpp"
+#include "scenario/registry.hpp"
 
-namespace core = drowsy::core;
-namespace sim = drowsy::sim;
-namespace net = drowsy::net;
-namespace trace = drowsy::trace;
-namespace util = drowsy::util;
-namespace baselines = drowsy::baselines;
+namespace sc = drowsy::scenario;
 
 namespace {
 
-constexpr int kHosts = 12;   // 16 vCPUs / 64 GB / 8 VM slots each
 constexpr int kVms = 48;
+constexpr int kPhases = 6;
 constexpr int kDays = 14;
 constexpr int kPretrainDays = 60;  // "effectiveness increases with time" (§VI-A-3)
-constexpr int kPhases = 6;
 
 enum class Algo { Drowsy, DrowsyNoOpportunistic, NeatVanilla, NeatS3, Oasis };
 
@@ -55,66 +46,48 @@ const char* algo_name(Algo a) {
   return "?";
 }
 
-/// A daily 4-hour activity window starting at `phase_hour` — one "time
-/// zone" of the LLMI population.
-trace::ActivityTrace phase_trace(int phase_hour, std::uint64_t seed) {
-  util::Rng rng(seed);
-  std::vector<double> hours;
-  hours.reserve(util::kHoursPerYear);
-  for (int h = 0; h < util::kHoursPerYear; ++h) {
-    const int hour_of_day = h % 24;
-    const int offset = (hour_of_day - phase_hour + 24) % 24;
-    hours.push_back(offset < 4 ? 0.5 + rng.uniform(-0.05, 0.05) : 0.0);
+sc::Policy algo_policy(Algo a) {
+  switch (a) {
+    case Algo::Drowsy:
+    case Algo::DrowsyNoOpportunistic: return sc::Policy::DrowsyDc;
+    case Algo::NeatVanilla: return sc::Policy::NeatVanilla;
+    case Algo::NeatS3: return sc::Policy::NeatS3;
+    case Algo::Oasis: return sc::Policy::Oasis;
   }
-  return trace::ActivityTrace(std::move(hours),
-                              "phase-" + std::to_string(phase_hour));
+  return sc::Policy::DrowsyDc;
+}
+
+/// The registry scenario with its VM mix re-balanced to `llmi_fraction`
+/// and the full §VI-B timeline restored.
+sc::ScenarioSpec sweep_spec(double llmi_fraction) {
+  sc::ScenarioSpec spec = sc::ScenarioRegistry::builtin().at("paper-sim-phases");
+  spec.duration_days = kDays;
+  spec.pretrain_days = kPretrainDays;
+  const int llmi_count = static_cast<int>(llmi_fraction * kVms + 0.5);
+  spec.vms.clear();
+  for (int phase = 0; phase < kPhases; ++phase) {
+    // VM i < llmi_count takes phase i % kPhases, as in the paper setup.
+    const int count = (llmi_count + kPhases - 1 - phase) / kPhases;
+    if (count == 0) continue;
+    spec.vms.push_back({.name_prefix = "llmi-p" + std::to_string(phase * 4) + "-",
+                        .count = count,
+                        .workload = {.kind = sc::TraceKind::PhaseWindow,
+                                     .hour = phase * (24 / kPhases),
+                                     .span_hours = 4,
+                                     .seed = 1000u + static_cast<std::uint64_t>(phase)}});
+  }
+  if (llmi_count < kVms) {
+    spec.vms.push_back({.name_prefix = "llmu",
+                        .count = kVms - llmi_count,
+                        .workload = {.kind = sc::TraceKind::GoogleLlmu, .seed = 2000}});
+  }
+  return spec;
 }
 
 double run_once(Algo algo, double llmi_fraction) {
-  sim::EventQueue queue;
-  sim::Cluster cluster(queue);
-  net::SdnSwitch sdn(queue);
-  for (int i = 0; i < kHosts; ++i) {
-    cluster.add_host(sim::HostSpec{"H" + std::to_string(i), 16, 65536, 8});
-  }
-  const int llmi_count = static_cast<int>(llmi_fraction * kVms + 0.5);
-  for (int i = 0; i < kVms; ++i) {
-    trace::ActivityTrace workload =
-        i < llmi_count
-            ? phase_trace((i % kPhases) * (24 / kPhases), 1000u + i)
-            : trace::google_like_llmu({.years = 1, .seed = 2000u + i});
-    cluster.add_vm(sim::VmSpec{"vm" + std::to_string(i), 2, 6144}, std::move(workload));
-  }
-  // Interleaved initial placement: phases and classes mixed on every host.
-  for (sim::VmId id = 0; id < static_cast<sim::VmId>(kVms); ++id) {
-    cluster.place(id, id % kHosts);
-  }
-
-  core::ControllerOptions opts;
-  opts.requests.base_rate_per_hour = 30;
-  opts.drowsy.suspend.check_interval = util::minutes(2);
-  // The full §III-D pipeline: classic overload/underload handling with
-  // IP-aware selection and placement, plus the opportunistic 7σ step (the
-  // relocate-all mode is the §VI-A testbed methodology for a full
-  // cluster; this simulated pool has spare slots).
-  opts.relocate_all = false;
-  opts.drowsy.placement.opportunistic_step = algo != Algo::DrowsyNoOpportunistic;
-  opts.drowsy.suspend.use_grace_time =
-      algo == Algo::Drowsy || algo == Algo::DrowsyNoOpportunistic;
-  // "Vanilla OpenStack Neat" only switches *empty* hosts to low power.
-  opts.drowsy.suspend.only_empty_hosts = algo == Algo::NeatVanilla;
-  core::Controller controller(cluster, sdn, opts);
-  std::unique_ptr<core::ConsolidationPolicy> policy;
-  if (algo == Algo::NeatVanilla || algo == Algo::NeatS3) {
-    policy = std::make_unique<baselines::NeatConsolidation>(cluster);
-  } else if (algo == Algo::Oasis) {
-    policy = std::make_unique<baselines::OasisConsolidation>(cluster);
-  }
-  if (policy) controller.set_policy(policy.get());
-  controller.install();
-  controller.pretrain_models(kPretrainDays * util::kHoursPerDay);
-  controller.run_hours(static_cast<std::int64_t>(kDays) * util::kHoursPerDay);
-  return cluster.total_kwh();
+  sc::ScenarioSpec spec = sweep_spec(llmi_fraction);
+  spec.opportunistic_step = algo != Algo::DrowsyNoOpportunistic;
+  return sc::run_one(spec, algo_policy(algo), spec.seed).kwh;
 }
 
 }  // namespace
@@ -123,10 +96,11 @@ int main(int argc, char** argv) {
   const bool ablate = argc > 1 && std::strcmp(argv[1], "--ablate") == 0;
   std::printf(
       "== Figure 5 [reconstructed]: simulation study — energy vs LLMI fraction ==\n");
+  const sc::ScenarioSpec base = sweep_spec(0.0);
   std::printf(
-      "   %d hosts (8 slots each), %d VMs, %d days; LLMU = Google-like,\n"
-      "   LLMI = daily 4-hour windows at %d phases\n\n",
-      kHosts, kVms, kDays, kPhases);
+      "   %d hosts (%d slots each), %d VMs, %d days; LLMU = Google-like,\n"
+      "   LLMI = daily 4-hour windows at %d phases (scenario: paper-sim-phases)\n\n",
+      base.hosts, base.host_template.max_vms, kVms, kDays, kPhases);
 
   std::vector<Algo> algos = {Algo::Drowsy, Algo::NeatVanilla, Algo::NeatS3, Algo::Oasis};
   if (ablate) algos.push_back(Algo::DrowsyNoOpportunistic);

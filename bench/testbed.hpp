@@ -1,16 +1,14 @@
-// The §VI-A real-environment testbed, reconstructed: 4 pool hosts (P2–P5,
-// 2 VM slots each), 2 LLMU VMs (V1, V2) and 6 LLMI VMs (V3–V8) where V3
-// and V4 receive the exact same workload.  Shared by the Fig. 2, Table I
-// and energy benches.
+// The §VI-A real-environment testbed — a thin wrapper over the
+// "paper-testbed" registry scenario: 4 pool hosts (P2–P5, 2 VM slots
+// each), 2 LLMU VMs (V1, V2) and 6 LLMI VMs (V3–V8) where V3 and V4
+// receive the exact same workload.  Shared by the Fig. 2, Table I and
+// energy benches; the cluster/controller wiring lives in src/scenario.
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <string>
 
-#include "baselines/neat.hpp"
-#include "core/drowsy.hpp"
-#include "trace/generators.hpp"
+#include "scenario/registry.hpp"
 
 namespace drowsy::bench {
 
@@ -29,55 +27,36 @@ inline const char* to_string(Algorithm a) {
   return "?";
 }
 
-/// One experiment instance.
+inline scenario::Policy to_policy(Algorithm a) {
+  switch (a) {
+    case Algorithm::DrowsyDc: return scenario::Policy::DrowsyDc;
+    case Algorithm::NeatSuspend: return scenario::Policy::NeatS3;
+    case Algorithm::NeatNoSuspend: return scenario::Policy::NeatNoSuspend;
+  }
+  return scenario::Policy::DrowsyDc;
+}
+
+/// One experiment instance, pretrained and ready to run.
 struct Testbed {
-  sim::EventQueue queue;
-  sim::Cluster cluster{queue};
-  net::SdnSwitch sdn{queue};
-  std::unique_ptr<core::Controller> controller;
-  std::unique_ptr<baselines::NeatConsolidation> neat;
+  scenario::ScenarioSpec spec;
+  std::unique_ptr<scenario::ScenarioRun> run;
+  sim::Cluster& cluster;
+  core::Controller* controller;
 
   explicit Testbed(Algorithm algorithm, bool quick_resume = true,
-                   double request_rate = 40.0) {
-    for (int i = 0; i < 4; ++i) {
-      cluster.add_host(sim::HostSpec{"P" + std::to_string(i + 2), 8, 16384, 2});
-    }
-    trace::GenOptions o;
-    o.years = 1;
-    o.noise = 0.02;
-    add_vm("V1", trace::llmu_constant(o));
-    o.seed = 43;
-    add_vm("V2", trace::llmu_constant(o));
-    const auto week = trace::nutanix_week();
-    add_vm("V3", week[0].extended_to(util::kHoursPerYear));
-    add_vm("V4", week[0].extended_to(util::kHoursPerYear));  // same as V3
-    add_vm("V5", week[1].extended_to(util::kHoursPerYear));
-    add_vm("V6", week[2].extended_to(util::kHoursPerYear));
-    add_vm("V7", week[3].extended_to(util::kHoursPerYear));
-    add_vm("V8", week[4].extended_to(util::kHoursPerYear));
-    // Initial placement interleaves the classes (the paper starts the two
-    // LLMU VMs on distinct machines).
-    for (sim::VmId id = 0; id < 8; ++id) cluster.place(id, id % 4);
-
-    core::ControllerOptions opts;
-    opts.requests.base_rate_per_hour = request_rate;
-    opts.quick_resume = quick_resume;
-    opts.relocate_all = algorithm == Algorithm::DrowsyDc;
-    opts.drowsy.suspend.enabled = algorithm != Algorithm::NeatNoSuspend;
-    // "Transitioning to suspended state is based on the exact same
-    // algorithm as Drowsy-DC, the grace time excepted" (§VI-A-1).
-    opts.drowsy.suspend.use_grace_time = algorithm == Algorithm::DrowsyDc;
-    controller = std::make_unique<core::Controller>(cluster, sdn, opts);
-    if (algorithm != Algorithm::DrowsyDc) {
-      neat = std::make_unique<baselines::NeatConsolidation>(cluster);
-      controller->set_policy(neat.get());
-    }
-    controller->install();
-    controller->pretrain_models(13 * util::kHoursPerDay);
-  }
-
-  void add_vm(const std::string& name, const trace::ActivityTrace& tr) {
-    cluster.add_vm(sim::VmSpec{name, 2, 6144}, tr);
+                   double request_rate = 40.0)
+      : spec([&] {
+          scenario::ScenarioSpec s =
+              scenario::ScenarioRegistry::builtin().at("paper-testbed");
+          s.quick_resume = quick_resume;
+          s.request_rate_per_hour = request_rate;
+          return s;
+        }()),
+        run(scenario::build(spec, to_policy(algorithm))),
+        cluster(run->cluster),
+        controller(run->controller.get()) {
+    controller->pretrain_models(static_cast<std::int64_t>(spec.pretrain_days) *
+                                util::kHoursPerDay);
   }
 
   void run_days(int days,

@@ -1,0 +1,96 @@
+// End-to-end multi-policy scenario sweep.
+//
+//   $ ./scenario_sweep [--replicates N] [--threads N] [--out prefix] [--no-check]
+//
+// Runs every scenario of the built-in registry under the paper's three
+// headline policies (Drowsy-DC, Neat+S3, Oasis) through the parallel
+// BatchRunner, prints the aggregate comparison table, and writes
+//   <prefix>_runs.csv      one row per (scenario, policy, seed) run
+//   <prefix>_summary.csv   one row per (scenario, policy)
+//   <prefix>_summary.json  the same aggregates as JSON
+// Unless --no-check is given, the whole batch is re-executed on a single
+// worker thread and the summaries are compared byte-for-byte — the
+// determinism contract the scenario engine guarantees.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenario/batch_runner.hpp"
+#include "scenario/registry.hpp"
+
+namespace sc = drowsy::scenario;
+
+int main(int argc, char** argv) {
+  std::size_t replicates = 1;
+  std::size_t threads = 0;  // hardware concurrency
+  std::string prefix = "scenario_sweep";
+  bool check = true;
+  const auto parse_count = [](const char* text, const char* flag) {
+    const long value = std::atol(text);
+    if (value < 0) {
+      std::fprintf(stderr, "%s must be non-negative, got %s\n", flag, text);
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(value);
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replicates") == 0 && i + 1 < argc) {
+      replicates = parse_count(argv[++i], "--replicates");
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = parse_count(argv[++i], "--threads");
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-check") == 0) {
+      check = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--replicates N] [--threads N] [--out prefix] [--no-check]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (replicates == 0) replicates = 1;
+
+  const auto& registry = sc::ScenarioRegistry::builtin();
+  const std::vector<sc::Policy> policies(sc::kPaperPolicies.begin(),
+                                         sc::kPaperPolicies.end());
+  const auto jobs = sc::cross(registry.all(), policies, replicates);
+
+  sc::BatchRunner runner(threads);
+  std::printf("== scenario sweep: %zu scenarios x %zu policies x %zu seed(s) = %zu runs"
+              " (%zu threads) ==\n\n",
+              registry.size(), policies.size(), replicates, jobs.size(),
+              runner.thread_count());
+
+  const auto results = runner.run(jobs);
+  const auto rows = sc::aggregate(results);
+  std::printf("%s\n", sc::aggregate_table(rows).c_str());
+
+  const std::string runs_csv = sc::to_csv(results);
+  const std::string summary_csv = sc::to_csv(rows);
+  const std::string summary_json = sc::to_json(rows);
+  bool ok = true;
+  ok &= sc::write_file(prefix + "_runs.csv", runs_csv);
+  ok &= sc::write_file(prefix + "_summary.csv", summary_csv);
+  ok &= sc::write_file(prefix + "_summary.json", summary_json);
+  if (!ok) return 1;
+  std::printf("wrote %s_runs.csv, %s_summary.csv, %s_summary.json\n", prefix.c_str(),
+              prefix.c_str(), prefix.c_str());
+
+  if (check) {
+    std::printf("\nre-running on 1 thread to verify determinism...\n");
+    sc::BatchRunner serial(1);
+    const auto serial_results = serial.run(jobs);
+    if (sc::to_csv(serial_results) != runs_csv ||
+        sc::to_csv(sc::aggregate(serial_results)) != summary_csv) {
+      std::printf("determinism check: FAILED — 1-thread and %zu-thread runs differ\n",
+                  runner.thread_count());
+      return 1;
+    }
+    std::printf("determinism check: OK — summaries identical at 1 and %zu threads\n",
+                runner.thread_count());
+  }
+  return 0;
+}

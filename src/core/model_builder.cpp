@@ -23,7 +23,7 @@ void ModelBuilder::observe_hour(const sim::Cluster& cluster, std::int64_t h,
   // Materialize every model first: creation mutates the registry and must
   // not race with the parallel update below.
   for (const auto& vm : vms) {
-    if (cluster.host_of(vm->id()) != nullptr) model(vm->id());
+    if (cluster.host_of(vm->id()) != nullptr) static_cast<void>(model(vm->id()));
   }
   auto update_one = [&](std::size_t i) {
     const sim::Vm& vm = *vms[i];

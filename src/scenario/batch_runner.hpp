@@ -1,0 +1,92 @@
+// Parallel batch execution of (scenario x policy x seed) runs.
+//
+// Each run is an independent single-threaded simulation (its own
+// EventQueue, Cluster and Controller), so the batch fans runs across
+// util::ThreadPool with no shared mutable state.  Results land in a
+// vector indexed by job order — never by completion order — which makes
+// the output bit-identical at 1 and N worker threads.  Aggregation means
+// replicate seeds into one row per (scenario, policy) and renders CSV and
+// JSON summaries next to metrics::reports' human-readable tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace drowsy::scenario {
+
+/// One unit of batch work.  The spec is copied in so jobs stay valid
+/// independently of registry lifetime and callers can tweak per-job specs.
+struct BatchJob {
+  ScenarioSpec spec;
+  Policy policy = Policy::DrowsyDc;
+  std::uint64_t seed = 0;  ///< 0 = use spec.seed
+};
+
+/// Cartesian helper: every spec x every policy x every replicate seed.
+/// Replicate seeds are derived as mix_seed(spec.seed, replicate index),
+/// so the same spec list always yields the same job list.
+[[nodiscard]] std::vector<BatchJob> cross(const std::vector<ScenarioSpec>& specs,
+                                          const std::vector<Policy>& policies,
+                                          std::size_t replicates = 1);
+
+/// Runs batches over an internal thread pool.
+class BatchRunner {
+ public:
+  /// `threads` = worker count; 0 picks hardware concurrency.
+  explicit BatchRunner(std::size_t threads = 0);
+
+  /// Execute every job; results arrive in job order regardless of the
+  /// execution schedule.  The first exception thrown by a run (e.g. an
+  /// invalid spec) is rethrown on the caller thread.
+  [[nodiscard]] std::vector<RunResult> run(const std::vector<BatchJob>& jobs);
+
+  [[nodiscard]] std::size_t thread_count() const { return pool_.thread_count(); }
+
+ private:
+  util::ThreadPool pool_;
+};
+
+/// One (scenario, policy) row: replicate means plus spread.
+struct AggregateRow {
+  std::string scenario;
+  std::string policy;
+  std::size_t runs = 0;
+  double kwh_mean = 0.0;
+  double kwh_min = 0.0;
+  double kwh_max = 0.0;
+  double suspend_fraction_mean = 0.0;
+  double sla_mean = 0.0;
+  double wake_p99_ms_mean = 0.0;
+  double migrations_mean = 0.0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t wakes_total = 0;
+};
+
+/// Collapse per-run rows into per-(scenario, policy) aggregates, in first-
+/// appearance order (deterministic for a deterministic job list).
+[[nodiscard]] std::vector<AggregateRow> aggregate(const std::vector<RunResult>& results);
+
+// --- emission ----------------------------------------------------------------
+
+/// Per-run results as CSV (header + one line per run, fixed formatting).
+[[nodiscard]] std::string to_csv(const std::vector<RunResult>& results);
+
+/// Aggregates as CSV.
+[[nodiscard]] std::string to_csv(const std::vector<AggregateRow>& rows);
+
+/// Per-run results as a JSON array of objects.
+[[nodiscard]] std::string to_json(const std::vector<RunResult>& results);
+
+/// Aggregates as a JSON array of objects.
+[[nodiscard]] std::string to_json(const std::vector<AggregateRow>& rows);
+
+/// Human-readable aggregate table (align with metrics::reports style).
+[[nodiscard]] std::string aggregate_table(const std::vector<AggregateRow>& rows);
+
+/// Write `content` to `path`; returns false (and logs) on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace drowsy::scenario

@@ -65,6 +65,8 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   const std::size_t chunks = std::min(n, workers * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
   std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;  // guarded by m
   std::mutex m;
   std::condition_variable cv;
   std::size_t issued = 0;
@@ -72,7 +74,16 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     const std::size_t end = std::min(begin + chunk_size, n);
     ++issued;
     pool.submit([&, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (failed.load(std::memory_order_relaxed)) break;
+          body(i);
+        }
+      } catch (...) {
+        std::lock_guard lock(m);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
       {
         std::lock_guard lock(m);
         ++done;
@@ -82,6 +93,7 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   }
   std::unique_lock lock(m);
   cv.wait(lock, [&] { return done.load() == issued; });
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& default_pool() {

@@ -29,7 +29,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task for asynchronous execution.
+  /// Enqueue a task for asynchronous execution.  The task must not throw:
+  /// an exception escaping a bare submitted task terminates the process
+  /// (use parallel_for, which captures and rethrows, for throwing work).
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished.
@@ -51,6 +53,9 @@ class ThreadPool {
 
 /// Run `body(i)` for i in [0, n) across the pool, blocking until all
 /// iterations finish.  Iterations are chunked to limit queue churn.
+/// Exception-safe: if any iteration throws, the first exception is
+/// captured and rethrown on the calling thread after every in-flight
+/// chunk has drained; iterations not yet started are skipped.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body);
 

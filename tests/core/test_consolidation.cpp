@@ -56,7 +56,7 @@ TEST_F(ConsolidationFixture, InitialPlacementPicksClosestIp) {
   c::IdlenessConsolidator consolidator(cluster, builder);
   // A new backup-like VM (idle-leaning IP) should land next to sleepy.
   auto& newcomer = add_vm(t::daily_backup(o, /*hour=*/3));
-  builder.model(newcomer.id());
+  static_cast<void>(builder.model(newcomer.id()));
   train(0);
   // Give the newcomer a couple of weeks of history too.
   for (std::int64_t h = 0; h < 14 * 24; ++h) {

@@ -33,7 +33,7 @@ struct BuilderFixture : ::testing::Test {
 
 TEST_F(BuilderFixture, ModelCreatedOnDemand) {
   EXPECT_EQ(builder.find(0), nullptr);
-  builder.model(0);
+  static_cast<void>(builder.model(0));
   EXPECT_NE(builder.find(0), nullptr);
 }
 

@@ -15,7 +15,7 @@ namespace {
 
 struct Item {
   int key = 0;
-  k::RbNode node;
+  k::RbNode node{};
 };
 
 void insert_item(k::RbTree& tree, Item& item) {

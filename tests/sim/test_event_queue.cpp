@@ -96,6 +96,38 @@ TEST(EventQueue, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(q.step());
 }
 
+TEST(EventQueue, EqualTimesFifoWhenScheduledDuringRun) {
+  // Events enqueued from inside callbacks at an already-pending timestamp
+  // must still execute in submission order (the (time, seq) tie-break that
+  // makes scenario runs bit-reproducible).
+  s::EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(u::seconds(1), [&] {
+    order.push_back(0);
+    q.schedule_at(u::seconds(5), [&] { order.push_back(3); });
+    q.schedule_at(u::seconds(5), [&] { order.push_back(4); });
+  });
+  q.schedule_at(u::seconds(5), [&] { order.push_back(1); });
+  q.schedule_at(u::seconds(5), [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, IdenticalScheduleGivesIdenticalExecution) {
+  // Two queues fed the same schedule replay the same order — the property
+  // the scenario BatchRunner relies on for thread-count-independent runs.
+  auto replay = [] {
+    s::EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      q.schedule_at(u::seconds(i % 5), [&order, i] { order.push_back(i); });
+    }
+    q.run_all();
+    return order;
+  };
+  EXPECT_EQ(replay(), replay());
+}
+
 TEST(EventQueue, StartTimeOffset) {
   s::EventQueue q(u::hours(100.0));
   EXPECT_EQ(q.now(), u::hours(100.0));

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace u = drowsy::util;
@@ -74,4 +75,45 @@ TEST(ThreadPool, TasksSubmittedFromTasks) {
 
 TEST(ThreadPool, DefaultPoolIsSingleton) {
   EXPECT_EQ(&u::default_pool(), &u::default_pool());
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  u::ThreadPool pool(4);
+  EXPECT_THROW(
+      u::parallel_for(pool, 100,
+                      [](std::size_t i) {
+                        if (i == 37) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForExceptionMessageSurvives) {
+  u::ThreadPool pool(2);
+  try {
+    u::parallel_for(pool, 10, [](std::size_t) { throw std::runtime_error("task failed"); });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+}
+
+TEST(ThreadPool, ParallelForSkipsRemainingWorkAfterFailure) {
+  u::ThreadPool pool(1);  // one worker: chunks run sequentially
+  std::atomic<int> ran{0};
+  EXPECT_THROW(u::parallel_for(pool, 10000,
+                               [&](std::size_t) {
+                                 ran.fetch_add(1);
+                                 throw std::runtime_error("first");
+                               }),
+               std::runtime_error);
+  // With a single worker, the failure cancels iterations not yet started.
+  EXPECT_LT(ran.load(), 10000);
+}
+
+TEST(ThreadPool, PoolUsableAfterParallelForException) {
+  u::ThreadPool pool(2);
+  EXPECT_THROW(u::parallel_for(pool, 4, [](std::size_t) { throw 1; }), int);
+  std::atomic<int> counter{0};
+  u::parallel_for(pool, 50, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
 }
