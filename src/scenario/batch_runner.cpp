@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "scenario/trace_cache.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -44,12 +45,16 @@ BatchRunner::BatchRunner(std::size_t threads) : pool_(threads) {}
 
 std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs) {
   std::vector<RunResult> results(jobs.size());
+  TraceCache trace_cache;  // shared across the batch; every policy arm of a
+                           // (scenario, seed) replicate reuses the same traces
   // parallel_for rethrows the first failing run's exception here.
   util::parallel_for(pool_, jobs.size(), [&](std::size_t i) {
     const BatchJob& job = jobs[i];
     const std::uint64_t seed = job.seed != 0 ? job.seed : job.spec.seed;
-    results[i] = run_one(job.spec, job.policy, seed);
+    results[i] = run_one(job.spec, job.policy, seed, &trace_cache);
   });
+  last_trace_hits_ = trace_cache.hits();
+  last_trace_misses_ = trace_cache.misses();
   return results;
 }
 

@@ -40,13 +40,21 @@ class BatchRunner {
 
   /// Execute every job; results arrive in job order regardless of the
   /// execution schedule.  The first exception thrown by a run (e.g. an
-  /// invalid spec) is rethrown on the caller thread.
+  /// invalid spec) is rethrown on the caller thread.  Jobs share one
+  /// TraceCache for the duration of the call, so the batch materializes
+  /// each distinct (TraceSpec, seed) trace once instead of once per run.
   [[nodiscard]] std::vector<RunResult> run(const std::vector<BatchJob>& jobs);
 
   [[nodiscard]] std::size_t thread_count() const { return pool_.thread_count(); }
 
+  /// Trace-cache statistics of the most recent run() (for reporting).
+  [[nodiscard]] std::uint64_t last_trace_hits() const { return last_trace_hits_; }
+  [[nodiscard]] std::uint64_t last_trace_misses() const { return last_trace_misses_; }
+
  private:
   util::ThreadPool pool_;
+  std::uint64_t last_trace_hits_ = 0;
+  std::uint64_t last_trace_misses_ = 0;
 };
 
 /// One (scenario, policy) row: replicate means plus spread.

@@ -313,6 +313,66 @@ ScenarioSpec dev_fleet_idle() {
   return s;
 }
 
+/// SLA pressure on a sleeping fleet: the dev-fleet-idle population under
+/// a 24x higher request rate, so nearly every request lands on a
+/// suspended host and the waking module — not the suspend module —
+/// decides the outcome.  Separates policies that dev-fleet-idle ties:
+/// wake latency handling (grace time, quick resume) now dominates both
+/// the SLA and the energy bill (every wake burns transition watts).
+ScenarioSpec idle_fleet_sla_burst() {
+  ScenarioSpec s;
+  s.name = "idle-fleet-sla-burst";
+  s.description = "mostly-idle dev fleet under 240 req/h: wake path under SLA pressure";
+  s.hosts = 4;
+  s.host_template = {"", 8, 16384, 4};
+  s.vms = {
+      {.name_prefix = "dev",
+       .count = 14,
+       .memory_mb = 4096,
+       .workload = {.kind = TraceKind::RandomLlmi}},
+      {.name_prefix = "ci",
+       .count = 2,
+       .memory_mb = 4096,
+       .workload = {.kind = TraceKind::OfficeHours, .level = 0.3}},
+  };
+  s.pretrain_days = 14;
+  s.duration_days = 3;
+  s.request_rate_per_hour = 240.0;
+  s.seed = 29;
+  s.relocate_all = true;
+  return s;
+}
+
+/// Wake storm: fully synchronized 1-hour activity windows (every VM in
+/// the same "time zone") on an otherwise-dark fleet, plus a request
+/// storm.  23 hours a day everything could sleep; at the window edge all
+/// hosts must come back at once — the worst case for wake batching and
+/// the sharpest contrast to paper-sim-phases' staggered phases.
+ScenarioSpec wake_storm() {
+  ScenarioSpec s;
+  s.name = "wake-storm";
+  s.description = "24 synchronized 1h-window VMs + storm of 400 req/h: all hosts wake at once";
+  s.hosts = 8;
+  s.host_template = {"", 8, 16384, 4};
+  s.vms = {
+      {.name_prefix = "burst",
+       .count = 24,
+       .memory_mb = 4096,
+       .workload = {.kind = TraceKind::PhaseWindow, .noise = 0.02, .level = 0.9,
+                    .hour = 9, .span_hours = 1}},
+      {.name_prefix = "watch",
+       .count = 2,
+       .memory_mb = 4096,
+       .workload = {.kind = TraceKind::LlmuConstant, .level = 0.3}},
+  };
+  s.pretrain_days = 14;
+  s.duration_days = 3;
+  s.request_rate_per_hour = 400.0;
+  s.seed = 31;
+  s.relocate_all = true;
+  return s;
+}
+
 }  // namespace
 
 const ScenarioRegistry& ScenarioRegistry::builtin() {
@@ -327,6 +387,8 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     r.add(flash_crowd());
     r.add(spot_churn());
     r.add(dev_fleet_idle());
+    r.add(idle_fleet_sla_burst());
+    r.add(wake_storm());
     return r;
   }();
   return registry;

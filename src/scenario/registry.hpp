@@ -5,8 +5,9 @@
 // phase-structured simulation) plus new workload shapes the ROADMAP's
 // scenario-diversity goal asks for (diurnal SaaS, nightly backups,
 // seasonal e-commerce, flash crowds, spot churn, an always-idle dev
-// fleet).  Benches and examples look scenarios up by name instead of
-// hand-wiring clusters.
+// fleet, and two SLA-pressure stressors that make the waking module the
+// deciding factor).  Benches and examples look scenarios up by name
+// instead of hand-wiring clusters.
 #pragma once
 
 #include <string>

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "metrics/reports.hpp"
+#include "scenario/trace_cache.hpp"
 #include "util/rng.hpp"
 
 namespace drowsy::scenario {
@@ -190,7 +191,7 @@ std::string ScenarioSpec::validate() const {
 }
 
 std::unique_ptr<ScenarioRun> build(const ScenarioSpec& spec, Policy policy,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed, TraceCache* trace_cache) {
   if (std::string problem = spec.validate(); !problem.empty()) {
     throw std::invalid_argument("invalid scenario: " + problem);
   }
@@ -227,7 +228,11 @@ std::unique_ptr<ScenarioRun> build(const ScenarioSpec& spec, Policy policy,
       // alias one group's members onto the next group's stream.
       const std::uint64_t fallback =
           mix_seed(mix_seed(seed, group_index + 1), static_cast<std::uint64_t>(member));
-      trace::ActivityTrace tr = materialize(workload, fallback);
+      // The cache hands back a shared immutable trace; copying its hour
+      // vector is a memcpy, far cheaper than re-running the generator.
+      trace::ActivityTrace tr = trace_cache
+                                    ? *trace_cache->get(workload, fallback)
+                                    : materialize(workload, fallback);
       run->cluster.add_vm(
           sim::VmSpec{g.name_prefix + std::to_string(g.first_index + i), g.vcpus,
                       g.memory_mb},
@@ -313,8 +318,9 @@ RunResult harvest(const std::string& scenario_name, ScenarioRun& run) {
   return r;
 }
 
-RunResult run_one(const ScenarioSpec& spec, Policy policy, std::uint64_t seed) {
-  std::unique_ptr<ScenarioRun> run = build(spec, policy, seed);
+RunResult run_one(const ScenarioSpec& spec, Policy policy, std::uint64_t seed,
+                  TraceCache* trace_cache) {
+  std::unique_ptr<ScenarioRun> run = build(spec, policy, seed, trace_cache);
   run->controller->pretrain_models(static_cast<std::int64_t>(spec.pretrain_days) *
                                    util::kHoursPerDay);
   run->controller->run_hours(static_cast<std::int64_t>(spec.duration_days) *

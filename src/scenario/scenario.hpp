@@ -155,10 +155,16 @@ struct ScenarioRun {
       : cluster(queue, std::move(config)), sdn(queue) {}
 };
 
+class TraceCache;  // scenario/trace_cache.hpp
+
 /// Instantiate `spec` under `policy`.  Throws std::invalid_argument when
-/// validate() fails.  `seed` replaces spec.seed as the run seed.
+/// validate() fails.  `seed` replaces spec.seed as the run seed.  A
+/// non-null `trace_cache` memoizes trace materialization across builds
+/// (sweeps repeat identical traces under every policy arm); results are
+/// bit-identical with and without it.
 [[nodiscard]] std::unique_ptr<ScenarioRun> build(const ScenarioSpec& spec,
-                                                 Policy policy, std::uint64_t seed);
+                                                 Policy policy, std::uint64_t seed,
+                                                 TraceCache* trace_cache = nullptr);
 
 /// Convenience overload using spec.seed.
 [[nodiscard]] std::unique_ptr<ScenarioRun> build(const ScenarioSpec& spec,
@@ -186,7 +192,8 @@ struct RunResult {
 [[nodiscard]] RunResult harvest(const std::string& scenario_name, ScenarioRun& run);
 
 /// Build, pretrain, simulate and summarize one (spec, policy, seed) triple.
+/// `trace_cache` (optional) memoizes trace synthesis across runs.
 [[nodiscard]] RunResult run_one(const ScenarioSpec& spec, Policy policy,
-                                std::uint64_t seed);
+                                std::uint64_t seed, TraceCache* trace_cache = nullptr);
 
 }  // namespace drowsy::scenario

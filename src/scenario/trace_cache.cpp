@@ -1,0 +1,79 @@
+#include "scenario/trace_cache.hpp"
+
+namespace drowsy::scenario {
+
+bool TraceKey::operator==(const TraceKey& other) const {
+  const TraceSpec& a = spec;
+  const TraceSpec& b = other.spec;
+  return seed == other.seed && a.kind == b.kind && a.years == b.years &&
+         a.noise == b.noise && a.level == b.level && a.hour == b.hour &&
+         a.span_hours == b.span_hours && a.period_hours == b.period_hours &&
+         a.variant == b.variant;
+}
+
+std::size_t TraceKeyHash::operator()(const TraceKey& key) const {
+  // Chain every knob through the seed mixer; doubles hash by bit pattern,
+  // which is exact for the declarative values specs carry.
+  const auto bits = [](double v) {
+    std::uint64_t u;
+    static_assert(sizeof(u) == sizeof(v));
+    __builtin_memcpy(&u, &v, sizeof(u));
+    return u;
+  };
+  std::uint64_t h = mix_seed(key.seed, static_cast<std::uint64_t>(key.spec.kind));
+  h = mix_seed(h, key.spec.years);
+  h = mix_seed(h, bits(key.spec.noise));
+  h = mix_seed(h, bits(key.spec.level));
+  h = mix_seed(h, static_cast<std::uint64_t>(key.spec.hour));
+  h = mix_seed(h, static_cast<std::uint64_t>(key.spec.span_hours));
+  h = mix_seed(h, static_cast<std::uint64_t>(key.spec.period_hours));
+  h = mix_seed(h, key.spec.variant);
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const trace::ActivityTrace> TraceCache::get(const TraceSpec& spec,
+                                                            std::uint64_t fallback_seed) {
+  TraceKey key{spec, spec.seed != 0 ? spec.seed : fallback_seed};
+  key.spec.seed = key.seed;  // normalize so pinned and fallback forms collide
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+
+  // Materialize outside the lock: trace synthesis is the expensive part
+  // and must not serialize the batch workers.  A concurrent miss on the
+  // same key builds a duplicate, but the generators are deterministic so
+  // both copies are identical; the loser's is discarded below.
+  auto built = std::make_shared<const trace::ActivityTrace>(
+      materialize(key.spec, key.seed));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(key, std::move(built));
+  if (inserted) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+std::size_t TraceCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t TraceCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t TraceCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace drowsy::scenario

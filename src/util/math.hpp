@@ -30,6 +30,20 @@ namespace drowsy::util {
 /// { w : w_i >= 0, sum w_i = 1 } (Duchi et al. 2008, O(n log n)).
 void project_to_simplex(std::span<double> v);
 
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+/// x in [0, 1], by the standard continued-fraction expansion (Lentz's
+/// method).  The basis for Student-t probabilities below.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// Two-sided Student-t p-value: P(|T_df| >= |t|) for df > 0.
+/// Non-integer df is supported (Welch–Satterthwaite produces them).
+[[nodiscard]] double students_t_two_sided_p(double t, double df);
+
+/// Two-sided critical value: the t with students_t_two_sided_p(t, df) == p
+/// (e.g. p = 0.05 gives the 97.5th percentile).  Solved by bisection;
+/// plenty for confidence intervals over replicate counts.
+[[nodiscard]] double students_t_critical(double p, double df);
+
 /// Result of a gradient-descent run.
 struct DescentResult {
   std::vector<double> x;    ///< final iterate

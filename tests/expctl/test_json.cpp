@@ -1,0 +1,141 @@
+#include "expctl/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace ec = drowsy::expctl;
+using ec::Json;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse("0.25").as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegersAreExact) {
+  // 64-bit seeds survive untouched — the reason doubles aren't enough.
+  const std::uint64_t big = 18446744073709551615ull;  // UINT64_MAX
+  EXPECT_EQ(Json::parse("18446744073709551615").as_uint(), big);
+  EXPECT_EQ(Json::parse("9223372036854775807").as_int(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(Json(big).dump(0), "18446744073709551615");
+  // as_int on an out-of-range uint must refuse, not wrap.
+  EXPECT_THROW(static_cast<void>(Json::parse("18446744073709551615").as_int()),
+               ec::JsonError);
+  EXPECT_THROW(static_cast<void>(Json::parse("-1").as_uint()), ec::JsonError);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", 1);
+  obj.set("apple", 2);
+  obj.set("mango", 3);
+  EXPECT_EQ(obj.dump(0), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  obj.set("apple", 9);  // overwrite keeps position
+  EXPECT_EQ(obj.dump(0), "{\"zebra\":1,\"apple\":9,\"mango\":3}");
+}
+
+TEST(Json, DumpParseDumpIsByteStable) {
+  const char* documents[] = {
+      "{\"a\": 1, \"b\": [0.02, -3.5, 1e-09], \"c\": {\"nested\": true}}",
+      "[1, 2.5, \"x\", null, false, {}]",
+      "{\"seed\": 18446744073709551615, \"rate\": 42.125, \"name\": \"paper-testbed\"}",
+  };
+  for (const char* text : documents) {
+    const std::string once = Json::parse(text).dump();
+    const std::string twice = Json::parse(once).dump();
+    EXPECT_EQ(once, twice) << text;
+    const std::string compact = Json::parse(text).dump(0);
+    EXPECT_EQ(compact, Json::parse(compact).dump(0)) << text;
+  }
+}
+
+TEST(Json, StringEscapes) {
+  const Json parsed = Json::parse("\"line\\nquote\\\"tab\\tslash\\\\u\\u0041\"");
+  EXPECT_EQ(parsed.as_string(), "line\nquote\"tab\tslash\\uA");
+  // Control characters re-escape on dump.
+  EXPECT_EQ(Json(std::string("a\nb")).dump(0), "\"a\\nb\"");
+  EXPECT_EQ(Json::parse(Json(std::string("a\x01z")).dump(0)).as_string(),
+            std::string("a\x01z"));
+  // Surrogate pair decodes to UTF-8.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, MalformedInputsThrow) {
+  const char* bad[] = {
+      "",                      // empty
+      "{",                     // unterminated object
+      "[1, 2",                 // unterminated array
+      "{\"a\": 1,}",           // trailing comma
+      "[1, 2,]",               // trailing comma
+      "{'a': 1}",              // single quotes
+      "{\"a\" 1}",             // missing colon
+      "{\"a\": 1 \"b\": 2}",   // missing comma
+      "\"unterminated",        // unterminated string
+      "\"bad\\q\"",            // invalid escape
+      "\"\\ud800\"",           // unpaired surrogate
+      "01",                    // leading zero
+      "1.",                    // digit required after point
+      "1e",                    // digit required in exponent
+      "nul",                   // bad literal
+      "[1] trailing",          // trailing garbage
+      "{\"a\": 1, \"a\": 2}",  // duplicate key
+      "\"raw\ncontrol\"",      // raw control char in string
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(static_cast<void>(Json::parse(text)), ec::JsonError) << text;
+  }
+}
+
+TEST(Json, ErrorsCarryPosition) {
+  try {
+    static_cast<void>(Json::parse("{\n  \"a\": nope\n}"));
+    FAIL() << "expected JsonError";
+  } catch (const ec::JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const Json num = Json::parse("42");
+  EXPECT_THROW(static_cast<void>(num.as_string()), ec::JsonError);
+  EXPECT_THROW(static_cast<void>(num.as_bool()), ec::JsonError);
+  EXPECT_THROW(static_cast<void>(num.at("key")), ec::JsonError);
+  const Json obj = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(static_cast<void>(obj.as_double()), ec::JsonError);
+  EXPECT_THROW(static_cast<void>(obj.at("missing")), ec::JsonError);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW(static_cast<void>(Json::parse("2.5").as_int()), ec::JsonError);
+  EXPECT_EQ(Json::parse("8.0").as_int(), 8);  // exact integral double is fine
+}
+
+TEST(Json, NumericEqualityAcrossRepresentations) {
+  EXPECT_EQ(Json::parse("5"), Json(5.0));
+  EXPECT_EQ(Json::parse("[1, 2]"), Json::parse("[1, 2.0]"));
+  EXPECT_NE(Json::parse("5"), Json::parse("6"));
+  EXPECT_NE(Json::parse("{\"a\": 1}"), Json::parse("{\"b\": 1}"));
+  EXPECT_EQ(Json::parse("{\"a\": 1, \"b\": 2}"), Json::parse("{\"a\": 1, \"b\": 2}"));
+}
+
+TEST(Json, DeepNestingIsBounded) {
+  std::string deep(1000, '[');
+  deep += "1";
+  deep += std::string(1000, ']');
+  EXPECT_THROW(static_cast<void>(Json::parse(deep)), ec::JsonError);
+}
+
+TEST(Json, NonFiniteDoublesRefuseToDump) {
+  EXPECT_THROW(static_cast<void>(Json(std::numeric_limits<double>::quiet_NaN()).dump()),
+               ec::JsonError);
+  EXPECT_THROW(static_cast<void>(Json(std::numeric_limits<double>::infinity()).dump()),
+               ec::JsonError);
+}

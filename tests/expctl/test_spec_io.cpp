@@ -1,0 +1,197 @@
+#include "expctl/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+
+namespace ec = drowsy::expctl;
+namespace sc = drowsy::scenario;
+
+TEST(SpecIo, EveryTraceKindRoundTrips) {
+  for (const sc::TraceKind kind : ec::all_trace_kinds()) {
+    const std::string name = sc::to_string(kind);
+    EXPECT_EQ(ec::trace_kind_from_string(name), kind) << name;
+    sc::TraceSpec spec;
+    spec.kind = kind;
+    spec.noise = 0.02;
+    spec.seed = 12345678901234567890ull;  // exceeds double precision
+    const sc::TraceSpec back = ec::trace_spec_from_json(ec::to_json(spec));
+    EXPECT_EQ(back.kind, kind);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_DOUBLE_EQ(back.noise, spec.noise);
+  }
+  EXPECT_THROW(static_cast<void>(ec::trace_kind_from_string("not-a-kind")), ec::SpecError);
+}
+
+TEST(SpecIo, EveryPolicyRoundTrips) {
+  for (const sc::Policy policy : ec::all_policies()) {
+    EXPECT_EQ(ec::policy_from_string(sc::to_string(policy)), policy);
+  }
+  EXPECT_THROW(static_cast<void>(ec::policy_from_string("not-a-policy")), ec::SpecError);
+}
+
+TEST(SpecIo, RegistryScenariosRoundTripExactly) {
+  for (const sc::ScenarioSpec& spec : sc::ScenarioRegistry::builtin().all()) {
+    const ec::Json j = ec::to_json(spec);
+    const sc::ScenarioSpec back = ec::scenario_spec_from_json(j);
+    // Re-serialization equality covers every field the JSON carries.
+    EXPECT_EQ(ec::to_json(back), j) << spec.name;
+    EXPECT_EQ(back.name, spec.name);
+    EXPECT_EQ(back.total_vms(), spec.total_vms());
+    EXPECT_EQ(back.suspend_check_interval, spec.suspend_check_interval);
+  }
+}
+
+TEST(SpecIo, RegistrySerializationIsByteStable) {
+  // The acceptance bar: serialize -> parse -> serialize must not move a byte.
+  for (const sc::ScenarioSpec& spec : sc::ScenarioRegistry::builtin().all()) {
+    const std::string once = ec::to_json(spec).dump();
+    const sc::ScenarioSpec back = ec::scenario_spec_from_json(ec::Json::parse(once));
+    EXPECT_EQ(ec::to_json(back).dump(), once) << spec.name;
+  }
+}
+
+TEST(SpecIo, PartialSpecsUseDefaults) {
+  const ec::Json j = ec::Json::parse(R"({
+    "name": "partial",
+    "vms": [{"name_prefix": "v", "count": 2}]
+  })");
+  const sc::ScenarioSpec spec = ec::scenario_spec_from_json(j);
+  const sc::ScenarioSpec defaults;
+  EXPECT_EQ(spec.hosts, defaults.hosts);
+  EXPECT_EQ(spec.duration_days, defaults.duration_days);
+  EXPECT_EQ(spec.seed, defaults.seed);
+  EXPECT_EQ(spec.vms.size(), 1u);
+  EXPECT_EQ(spec.vms[0].count, 2);
+  EXPECT_EQ(spec.vms[0].vcpus, sc::VmGroup{}.vcpus);
+}
+
+TEST(SpecIo, MalformedSpecsThrowWithContext) {
+  const auto parse = [](const char* text) {
+    return ec::scenario_spec_from_json(ec::Json::parse(text));
+  };
+  // Unknown key (typo detection).
+  EXPECT_THROW(static_cast<void>(parse(R"({"name": "x", "duraton_days": 3})")),
+               ec::SpecError);
+  // Ill-typed field.
+  EXPECT_THROW(static_cast<void>(parse(R"({"name": "x", "hosts": "four"})")),
+               ec::SpecError);
+  // Unknown enum value.
+  EXPECT_THROW(static_cast<void>(parse(
+                   R"({"name": "x", "vms": [{"workload": {"kind": "warp-drive"}}]})")),
+               ec::SpecError);
+  // Structurally fine but fails ScenarioSpec::validate().
+  EXPECT_THROW(static_cast<void>(parse(R"({"name": "x", "hosts": 0})")), ec::SpecError);
+  // Error message carries the offending path.
+  try {
+    static_cast<void>(parse(R"({"name": "x", "vms": [{"count": true}]})"));
+    FAIL() << "expected SpecError";
+  } catch (const ec::SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("vms[0]"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SpecIo, SweepOverRegistryNamesMatchesCross) {
+  const ec::Json j = ec::Json::parse(R"({
+    "name": "two",
+    "scenarios": ["paper-testbed", "dev-fleet-idle"],
+    "policies": ["drowsy-dc", "oasis"],
+    "replicates": 3
+  })");
+  const ec::SweepSpec sweep = ec::sweep_from_json(j, sc::ScenarioRegistry::builtin());
+  const auto jobs = ec::expand(sweep);
+
+  const auto& registry = sc::ScenarioRegistry::builtin();
+  const auto expected = sc::cross({registry.at("paper-testbed"), registry.at("dev-fleet-idle")},
+                                  {sc::Policy::DrowsyDc, sc::Policy::Oasis}, 3);
+  ASSERT_EQ(jobs.size(), expected.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].spec.name, expected[i].spec.name) << i;
+    EXPECT_EQ(jobs[i].policy, expected[i].policy) << i;
+    EXPECT_EQ(jobs[i].seed, expected[i].seed) << i;
+  }
+}
+
+TEST(SpecIo, SweepDefaultsToPaperPolicies) {
+  const ec::Json j = ec::Json::parse(R"({"scenarios": ["paper-testbed"]})");
+  const ec::SweepSpec sweep = ec::sweep_from_json(j, sc::ScenarioRegistry::builtin());
+  ASSERT_EQ(sweep.policies.size(), sc::kPaperPolicies.size());
+  for (std::size_t i = 0; i < sweep.policies.size(); ++i) {
+    EXPECT_EQ(sweep.policies[i], sc::kPaperPolicies[i]);
+  }
+}
+
+TEST(SpecIo, SweepAxesExpandIntoSuffixedVariants) {
+  const ec::Json j = ec::Json::parse(R"({
+    "name": "axes",
+    "scenarios": ["dev-fleet-idle"],
+    "policies": ["drowsy-dc"],
+    "seeds": [7, 8],
+    "axes": {"hosts": [4, 8], "request_rate_per_hour": [10, 120.5]}
+  })");
+  const ec::SweepSpec sweep = ec::sweep_from_json(j, sc::ScenarioRegistry::builtin());
+  const auto jobs = ec::expand(sweep);
+  // 1 scenario x 2 hosts x 2 rates x 1 policy x 2 seeds.
+  ASSERT_EQ(jobs.size(), 8u);
+  EXPECT_EQ(jobs[0].spec.name, "dev-fleet-idle.h4.r10");
+  EXPECT_EQ(jobs[0].spec.hosts, 4);
+  EXPECT_DOUBLE_EQ(jobs[0].spec.request_rate_per_hour, 10.0);
+  EXPECT_EQ(jobs[0].seed, 7u);
+  EXPECT_EQ(jobs[1].seed, 8u);
+  EXPECT_EQ(jobs[2].spec.name, "dev-fleet-idle.h4.r120.5");
+  EXPECT_EQ(jobs[4].spec.name, "dev-fleet-idle.h8.r10");
+  EXPECT_EQ(jobs[4].spec.hosts, 8);
+  // Every derived name still passes validate()'s naming rules.
+  for (const auto& job : jobs) EXPECT_EQ(job.spec.validate(), "") << job.spec.name;
+}
+
+TEST(SpecIo, SweepRejectsBadInput) {
+  const auto& registry = sc::ScenarioRegistry::builtin();
+  const auto parse = [&](const char* text) {
+    return ec::sweep_from_json(ec::Json::parse(text), registry);
+  };
+  // Unknown registry name.
+  EXPECT_THROW(static_cast<void>(parse(R"({"scenarios": ["no-such"]})")), ec::SpecError);
+  // Empty scenario list.
+  EXPECT_THROW(static_cast<void>(parse(R"({"scenarios": []})")), ec::SpecError);
+  // seeds and replicates are mutually exclusive.
+  EXPECT_THROW(static_cast<void>(parse(
+                   R"({"scenarios": ["paper-testbed"], "seeds": [1], "replicates": 2})")),
+               ec::SpecError);
+  // Zero replicates.
+  EXPECT_THROW(static_cast<void>(
+                   parse(R"({"scenarios": ["paper-testbed"], "replicates": 0})")),
+               ec::SpecError);
+  // Unknown policy.
+  EXPECT_THROW(static_cast<void>(
+                   parse(R"({"scenarios": ["paper-testbed"], "policies": ["magic"]})")),
+               ec::SpecError);
+  // Seed 0 is BatchJob's "use spec.seed" sentinel; accepting it would
+  // silently duplicate the spec-seed replicate and corrupt the stats.
+  EXPECT_THROW(static_cast<void>(
+                   parse(R"({"scenarios": ["paper-testbed"], "seeds": [0, 42]})")),
+               ec::SpecError);
+  // Axis that breaks capacity: paper-testbed's 8 VMs on 1 host of 2 slots.
+  const ec::SweepSpec infeasible = parse(
+      R"({"scenarios": ["paper-testbed"], "axes": {"hosts": [1]}})");
+  EXPECT_THROW(static_cast<void>(ec::expand(infeasible)), ec::SpecError);
+}
+
+TEST(SpecIo, InlineSweepScenario) {
+  const ec::Json j = ec::Json::parse(R"({
+    "name": "inline",
+    "scenarios": [{
+      "name": "mini",
+      "hosts": 2,
+      "vms": [{"name_prefix": "v", "count": 2,
+               "workload": {"kind": "office-hours"}}],
+      "pretrain_days": 1,
+      "duration_days": 1
+    }],
+    "policies": ["drowsy-dc"]
+  })");
+  const ec::SweepSpec sweep = ec::sweep_from_json(j, sc::ScenarioRegistry::builtin());
+  ASSERT_EQ(sweep.scenarios.size(), 1u);
+  EXPECT_EQ(sweep.scenarios[0].name, "mini");
+  EXPECT_EQ(ec::expand(sweep).size(), 1u);
+}

@@ -139,3 +139,42 @@ TEST(Math, SteepestDescentConvergesFlagOnZeroGradient) {
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.x[0], 4.0);
 }
+
+TEST(Math, IncompleteBetaKnownValues) {
+  // I_x(1, 1) is the identity; I_x(a, b) + I_{1-x}(b, a) = 1.
+  EXPECT_NEAR(u::incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-12);
+  EXPECT_NEAR(u::incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-12);  // symmetric median
+  EXPECT_NEAR(u::incomplete_beta(2.5, 1.5, 0.4) + u::incomplete_beta(1.5, 2.5, 0.6), 1.0,
+              1e-12);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(u::incomplete_beta(2.0, 2.0, 0.25), 0.25 * 0.25 * 2.5, 1e-12);
+  EXPECT_EQ(u::incomplete_beta(3.0, 4.0, 0.0), 0.0);
+  EXPECT_EQ(u::incomplete_beta(3.0, 4.0, 1.0), 1.0);
+}
+
+TEST(Math, StudentsTMatchesClosedForms) {
+  // df = 1 is the Cauchy distribution: P(|T| >= t) = 1 - (2/pi) atan(t).
+  for (const double t : {0.5, 1.0, 2.0, 12.7}) {
+    EXPECT_NEAR(u::students_t_two_sided_p(t, 1.0), 1.0 - 2.0 / M_PI * std::atan(t), 1e-10)
+        << t;
+  }
+  // df = 2: P(|T| >= t) = 1 - t / sqrt(2 + t^2).
+  for (const double t : {0.5, 1.0, 2.0, 4.3}) {
+    EXPECT_NEAR(u::students_t_two_sided_p(t, 2.0), 1.0 - t / std::sqrt(2.0 + t * t), 1e-10)
+        << t;
+  }
+  // Symmetric in t; p(0) = 1; p decreases with |t|.
+  EXPECT_DOUBLE_EQ(u::students_t_two_sided_p(-2.0, 5.0), u::students_t_two_sided_p(2.0, 5.0));
+  EXPECT_DOUBLE_EQ(u::students_t_two_sided_p(0.0, 5.0), 1.0);
+  EXPECT_GT(u::students_t_two_sided_p(1.0, 5.0), u::students_t_two_sided_p(2.0, 5.0));
+}
+
+TEST(Math, StudentsTClassicTableValues) {
+  // t-table landmarks: t_{0.975, 8} = 2.306, t_{0.975, inf->large} -> 1.960.
+  EXPECT_NEAR(u::students_t_critical(0.05, 8.0), 2.306, 1e-3);
+  EXPECT_NEAR(u::students_t_critical(0.05, 1e6), 1.95996, 1e-3);
+  EXPECT_NEAR(u::students_t_critical(0.05, 1.0), 12.706, 1e-2);
+  // The critical value inverts the p-value.
+  const double t = u::students_t_critical(0.05, 7.0);
+  EXPECT_NEAR(u::students_t_two_sided_p(t, 7.0), 0.05, 1e-9);
+}

@@ -1,0 +1,189 @@
+// drowsy_sweep — drive the scenario catalogue from JSON sweep files,
+// no recompilation required.
+//
+//   drowsy_sweep run <sweep.json> [--threads N] [--alpha A]
+//                    [--csv stats.csv] [--runs-csv runs.csv]
+//                    [--json stats.json] [--verdicts-csv verdicts.csv]
+//       Expand the sweep into its (scenario x axes x policy x seed) job
+//       grid, execute it on the parallel BatchRunner (traces materialized
+//       once per sweep via TraceCache), print the replicate-statistics
+//       table (mean ± CI-95) and the per-policy-pair Welch verdicts, and
+//       optionally write CSV/JSON artifacts.
+//   drowsy_sweep validate <sweep.json>
+//       Parse and expand without running; prints the job count.
+//   drowsy_sweep list
+//       Registry scenario names with descriptions.
+//   drowsy_sweep dump [<scenario>...]
+//       Serialize registry scenarios (all by default) as JSON — the
+//       starting point for hand-edited sweep files.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "expctl/report.hpp"
+#include "expctl/spec_io.hpp"
+#include "scenario/batch_runner.hpp"
+#include "scenario/registry.hpp"
+
+namespace ec = drowsy::expctl;
+namespace sc = drowsy::scenario;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s run <sweep.json> [--threads N] [--alpha A] [--csv F]"
+               " [--runs-csv F] [--json F] [--verdicts-csv F]\n"
+               "       %s validate <sweep.json>\n"
+               "       %s list\n"
+               "       %s dump [<scenario>...]\n",
+               argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+ec::SweepSpec load_sweep(const std::string& path) {
+  const std::string text = ec::read_file(path);
+  const ec::Json doc = ec::Json::parse(text);
+  return ec::sweep_from_json(doc, sc::ScenarioRegistry::builtin());
+}
+
+int cmd_list() {
+  for (const sc::ScenarioSpec& spec : sc::ScenarioRegistry::builtin().all()) {
+    std::printf("%-22s %s\n", spec.name.c_str(), spec.description.c_str());
+  }
+  return 0;
+}
+
+int cmd_dump(const std::vector<std::string>& names) {
+  const auto& registry = sc::ScenarioRegistry::builtin();
+  ec::Json out = ec::Json::array();
+  if (names.empty()) {
+    for (const sc::ScenarioSpec& spec : registry.all()) out.push_back(ec::to_json(spec));
+  } else {
+    for (const std::string& name : names) {
+      const sc::ScenarioSpec* spec = registry.find(name);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "no such scenario: %s (try 'drowsy_sweep list')\n",
+                     name.c_str());
+        return 1;
+      }
+      out.push_back(ec::to_json(*spec));
+    }
+  }
+  // A single requested scenario prints as a bare object, ready to paste
+  // into a sweep file's "scenarios" array.
+  const std::string text = names.size() == 1 ? out.at(std::size_t{0}).dump() : out.dump();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
+int cmd_validate(const std::string& path) {
+  const ec::SweepSpec sweep = load_sweep(path);
+  const auto jobs = ec::expand(sweep);
+  std::printf("%s: OK — %zu scenario(s) x %zu policy(ies) -> %zu runs\n",
+              sweep.name.c_str(), sweep.scenarios.size(), sweep.policies.size(),
+              jobs.size());
+  return 0;
+}
+
+struct RunOptions {
+  std::string sweep_path;
+  std::size_t threads = 0;  // hardware concurrency
+  double alpha = 0.05;
+  std::string stats_csv;
+  std::string runs_csv;
+  std::string stats_json;
+  std::string verdicts_csv;
+};
+
+int cmd_run(const RunOptions& opts) {
+  const ec::SweepSpec sweep = load_sweep(opts.sweep_path);
+  const auto jobs = ec::expand(sweep);
+
+  sc::BatchRunner runner(opts.threads);
+  std::printf("== %s: %zu runs (%zu threads) ==\n\n", sweep.name.c_str(), jobs.size(),
+              runner.thread_count());
+  const auto results = runner.run(jobs);
+
+  const auto rows = ec::summarize(results);
+  const auto verdicts = ec::compare_policies(results, opts.alpha);
+  std::printf("%s\n", ec::stats_table(rows).c_str());
+  std::printf("%s", ec::comparison_table(verdicts).c_str());
+  std::printf("\ntraces materialized: %llu (reused %llu times)\n",
+              static_cast<unsigned long long>(runner.last_trace_misses()),
+              static_cast<unsigned long long>(runner.last_trace_hits()));
+
+  bool ok = true;
+  if (!opts.stats_csv.empty()) ok &= sc::write_file(opts.stats_csv, ec::to_csv(rows));
+  if (!opts.runs_csv.empty()) ok &= sc::write_file(opts.runs_csv, sc::to_csv(results));
+  if (!opts.stats_json.empty()) ok &= sc::write_file(opts.stats_json, ec::to_json(rows));
+  if (!opts.verdicts_csv.empty()) {
+    ok &= sc::write_file(opts.verdicts_csv, ec::to_csv(verdicts));
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+  try {
+    if (command == "list") {
+      if (argc != 2) return usage(argv[0]);
+      return cmd_list();
+    }
+    if (command == "dump") {
+      return cmd_dump(std::vector<std::string>(argv + 2, argv + argc));
+    }
+    if (command == "validate") {
+      if (argc != 3) return usage(argv[0]);
+      return cmd_validate(argv[2]);
+    }
+    if (command == "run") {
+      RunOptions opts;
+      for (int i = 2; i < argc; ++i) {
+        const auto value = [&](const char* flag) -> const char* {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s requires a value\n", flag);
+            std::exit(2);
+          }
+          return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--threads") == 0) {
+          const long n = std::atol(value("--threads"));
+          if (n < 0) {
+            std::fprintf(stderr, "--threads must be non-negative\n");
+            return 2;
+          }
+          opts.threads = static_cast<std::size_t>(n);
+        } else if (std::strcmp(argv[i], "--alpha") == 0) {
+          opts.alpha = std::atof(value("--alpha"));
+          if (opts.alpha <= 0.0 || opts.alpha >= 1.0) {
+            std::fprintf(stderr, "--alpha must be in (0, 1)\n");
+            return 2;
+          }
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+          opts.stats_csv = value("--csv");
+        } else if (std::strcmp(argv[i], "--runs-csv") == 0) {
+          opts.runs_csv = value("--runs-csv");
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+          opts.stats_json = value("--json");
+        } else if (std::strcmp(argv[i], "--verdicts-csv") == 0) {
+          opts.verdicts_csv = value("--verdicts-csv");
+        } else if (opts.sweep_path.empty() && argv[i][0] != '-') {
+          opts.sweep_path = argv[i];
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      if (opts.sweep_path.empty()) return usage(argv[0]);
+      return cmd_run(opts);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "drowsy_sweep %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}
