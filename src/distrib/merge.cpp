@@ -1,0 +1,111 @@
+#include "distrib/merge.hpp"
+
+#include <map>
+
+namespace drowsy::distrib {
+
+namespace sc = drowsy::scenario;
+
+Coverage cover_grid(const std::vector<sc::BatchJob>& jobs,
+                    const std::vector<JournalEntry>& entries) {
+  Coverage cov;
+  cov.total = jobs.size();
+  cov.results.resize(jobs.size());
+
+  // Grid slots per key, in grid order; duplicate keys (a sweep listing
+  // the same scenario twice) fill their slots first-come-first-served.
+  const std::vector<JobKey> keys = job_keys(jobs);
+  std::map<std::string, std::vector<std::size_t>> slots;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    slots[keys[i].encode()].push_back(i);
+  }
+
+  std::vector<bool> filled(jobs.size(), false);
+  for (const JournalEntry& entry : entries) {
+    const std::string key = entry.key.encode();
+    const auto it = slots.find(key);
+    if (it == slots.end()) {
+      cov.foreign.push_back(key + " (scenario " + entry.result.scenario + ")");
+      continue;
+    }
+    // The key matched, but the payload must agree with the slot too:
+    // journal.cpp verifies policy/seed against the embedded result at
+    // parse time, and this closes the remaining hole (a key-consistent
+    // row whose result belongs to a different scenario would otherwise
+    // merge silently and corrupt the grouped statistics).  Duplicate-key
+    // slots share one spec, so checking against the first is exact.
+    if (entry.result.scenario != jobs[it->second.front()].spec.name) {
+      cov.foreign.push_back(key + " (result scenario " + entry.result.scenario +
+                            " != grid scenario " +
+                            jobs[it->second.front()].spec.name + ")");
+      continue;
+    }
+    std::size_t* slot = nullptr;
+    for (std::size_t& index : it->second) {
+      if (!filled[index]) {
+        slot = &index;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      // Every grid slot with this key already has a row; report the first
+      // such index as the duplicated one.
+      cov.duplicates.push_back(it->second.front());
+      continue;
+    }
+    filled[*slot] = true;
+    cov.results[*slot] = entry.result;
+  }
+
+  for (std::size_t i = 0; i < filled.size(); ++i) {
+    if (filled[i]) {
+      ++cov.completed;
+    } else {
+      cov.missing.push_back(i);
+    }
+  }
+  return cov;
+}
+
+namespace {
+
+std::string list_indices(const std::vector<std::size_t>& indices, std::size_t limit = 10) {
+  std::string out;
+  for (std::size_t i = 0; i < indices.size() && i < limit; ++i) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(indices[i]);
+  }
+  if (indices.size() > limit) out += ", … (" + std::to_string(indices.size()) + " total)";
+  return out;
+}
+
+}  // namespace
+
+std::vector<sc::RunResult> merge_journals(const std::vector<sc::BatchJob>& jobs,
+                                          const std::vector<JournalEntry>& entries) {
+  Coverage cov = cover_grid(jobs, entries);
+  if (!cov.missing.empty()) {
+    throw DistribError("merge: " + std::to_string(cov.missing.size()) +
+                       " grid job(s) have no journal row — indices " +
+                       list_indices(cov.missing) +
+                       "; run the owning shard(s) to completion first");
+  }
+  if (!cov.duplicates.empty()) {
+    throw DistribError("merge: duplicate journal rows for grid indices " +
+                       list_indices(cov.duplicates) +
+                       " — the same job ran in more than one shard");
+  }
+  if (!cov.foreign.empty()) {
+    std::string sample;
+    for (std::size_t i = 0; i < cov.foreign.size() && i < 3; ++i) {
+      if (!sample.empty()) sample += ", ";
+      sample += cov.foreign[i];
+    }
+    throw DistribError("merge: " + std::to_string(cov.foreign.size()) +
+                       " journal row(s) match no grid job — e.g. " + sample +
+                       "; a journal from a different sweep was passed in");
+  }
+  return std::move(cov.results);
+}
+
+}  // namespace drowsy::distrib

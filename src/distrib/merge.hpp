@@ -1,0 +1,57 @@
+// Deterministic merge of per-shard journals back into one result set.
+//
+// The single-process pipeline is: expand() -> BatchRunner (job order) ->
+// aggregate/summarize/compare.  Sharding replaces the middle step with N
+// journals in completion order; merge restores the invariant the rest of
+// the pipeline leans on by re-sorting rows into canonical grid order and
+// *proving* coverage first: every grid job matched by exactly one row.
+// Missing rows (a shard died), duplicates (a job ran twice) and foreign
+// rows (a journal from some other sweep) are hard errors naming grid
+// indices — a silent best-effort merge would produce statistics that look
+// authoritative and are quietly wrong.
+//
+// Identity is the JobKey (spec-hash, policy, seed), not the recorded grid
+// index: two grid slots with identical keys (a sweep listing the same
+// scenario twice) are filled in grid order, and journals written against
+// a replanned-but-identical grid still merge.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "distrib/journal.hpp"
+#include "scenario/batch_runner.hpp"
+
+namespace drowsy::distrib {
+
+/// Coverage of the grid by a set of journals (for `shard status` and the
+/// merge precondition).
+struct Coverage {
+  std::size_t total = 0;                  ///< grid size
+  std::size_t completed = 0;              ///< grid slots with exactly one row
+  std::vector<std::size_t> missing;       ///< grid indices with no row
+  std::vector<std::size_t> duplicates;    ///< grid indices with extra rows
+  std::vector<std::string> foreign;       ///< keys matching no grid slot
+  /// Results in grid order for covered slots; default-constructed
+  /// elsewhere.  Only meaningful per-slot when `missing` omits the index.
+  std::vector<scenario::RunResult> results;
+
+  [[nodiscard]] bool complete() const {
+    return missing.empty() && duplicates.empty() && foreign.empty();
+  }
+};
+
+/// Match journal rows to grid slots by JobKey.  Never throws on coverage
+/// problems — callers decide (status reports them, merge refuses).
+[[nodiscard]] Coverage cover_grid(const std::vector<scenario::BatchJob>& jobs,
+                                  const std::vector<JournalEntry>& entries);
+
+/// Merge journals into the canonical per-run result vector — the exact
+/// vector BatchRunner::run() would have returned for `jobs`.  Throws
+/// DistribError listing grid indices unless coverage is complete.
+[[nodiscard]] std::vector<scenario::RunResult> merge_journals(
+    const std::vector<scenario::BatchJob>& jobs,
+    const std::vector<JournalEntry>& entries);
+
+}  // namespace drowsy::distrib

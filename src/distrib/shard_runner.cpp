@@ -1,0 +1,79 @@
+#include "distrib/shard_runner.hpp"
+
+#include <map>
+
+namespace drowsy::distrib {
+
+namespace sc = drowsy::scenario;
+
+ShardRunOutcome run_shard(const std::vector<sc::BatchJob>& grid,
+                          const ShardManifest& manifest, const std::string& journal_path,
+                          std::size_t threads) {
+  ShardRunOutcome outcome;
+  outcome.shard_jobs = manifest.job_indices.size();
+
+  // Per-key accounting, not a key set: a grid may hold the same
+  // (spec-hash, policy, seed) in several slots (a sweep listing one
+  // scenario twice), and cover_grid() fills such slots first-come-
+  // first-served — resume must count rows the same way or it would mark
+  // both slots done off a single row.
+  const std::vector<JobKey> grid_keys = job_keys(grid);
+  std::map<std::string, std::size_t> owned_slots;
+  for (const std::size_t i : manifest.job_indices) {
+    ++owned_slots[grid_keys[i].encode()];
+  }
+
+  const JournalContents journal = read_journal(journal_path);
+  std::map<std::string, std::size_t> journaled;
+  for (const JournalEntry& entry : journal.entries) {
+    const std::string key = entry.key.encode();
+    const auto it = owned_slots.find(key);
+    if (it == owned_slots.end()) {
+      throw DistribError("journal " + journal_path + " contains a row for " + key +
+                         " which is not in shard " + std::to_string(manifest.shard_index) +
+                         " — wrong journal for this manifest?");
+    }
+    if (++journaled[key] > it->second) {
+      throw DistribError("journal " + journal_path + " contains more rows for " + key +
+                         " than shard " + std::to_string(manifest.shard_index) +
+                         " owns — refusing to append more");
+    }
+  }
+
+  // Outstanding work, in grid order.  Parallel lists: to_run[j] is the
+  // grid job at grid index run_indices[j].  The first journaled[key]
+  // slots of each key count as resumed (matching cover_grid's order).
+  std::vector<sc::BatchJob> to_run;
+  std::vector<std::size_t> run_indices;
+  std::map<std::string, std::size_t> resumed_slots;
+  for (const std::size_t i : manifest.job_indices) {
+    const std::string key = grid_keys[i].encode();
+    const auto it = journaled.find(key);
+    if (it != journaled.end() && resumed_slots[key] < it->second) {
+      ++resumed_slots[key];
+      ++outcome.resumed;
+    } else {
+      to_run.push_back(grid[i]);
+      run_indices.push_back(i);
+    }
+  }
+  outcome.executed = to_run.size();
+  if (to_run.empty()) return outcome;  // nothing to do; leave the journal untouched
+
+  JournalWriter writer(journal_path, journal.valid_bytes);
+  sc::BatchRunner runner(threads);
+  // The callback runs under BatchRunner's completion mutex, so appends
+  // never interleave.
+  static_cast<void>(runner.run(to_run, [&](std::size_t j, const sc::RunResult& result) {
+    JournalEntry entry;
+    entry.index = run_indices[j];
+    entry.key = grid_keys[run_indices[j]];
+    entry.result = result;
+    writer.append(entry);
+  }));
+  outcome.trace_hits = runner.last_trace_hits();
+  outcome.trace_misses = runner.last_trace_misses();
+  return outcome;
+}
+
+}  // namespace drowsy::distrib

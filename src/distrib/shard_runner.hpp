@@ -1,0 +1,43 @@
+// Journaled execution of one shard, with crash resume.
+//
+// run_shard() is the worker-side verb behind `drowsy_sweep shard run`:
+// take the expanded grid and a manifest, figure out which of the shard's
+// jobs already have journal rows, truncate any torn tail, and run only
+// the remainder — appending each result to the journal the moment it
+// finishes.  Killing the process at any point and calling run_shard()
+// again converges on a complete journal without re-running finished
+// jobs and without duplicate rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distrib/journal.hpp"
+#include "distrib/shard.hpp"
+#include "scenario/batch_runner.hpp"
+
+namespace drowsy::distrib {
+
+struct ShardRunOutcome {
+  std::size_t shard_jobs = 0;  ///< jobs assigned to this shard
+  std::size_t resumed = 0;     ///< already journaled; skipped
+  std::size_t executed = 0;    ///< run in this invocation
+  std::uint64_t trace_hits = 0;
+  std::uint64_t trace_misses = 0;
+};
+
+/// Execute the manifest's outstanding jobs against `grid` (the full
+/// expanded job grid), journaling to `journal_path`.  An existing journal
+/// must contain only rows for this shard's jobs, each at most once —
+/// anything else means the journal belongs to different work, and running
+/// on top of it would manufacture a merge failure later.  `threads` = 0
+/// picks hardware concurrency.  Throws DistribError on journal problems;
+/// run exceptions propagate from BatchRunner.
+[[nodiscard]] ShardRunOutcome run_shard(const std::vector<scenario::BatchJob>& grid,
+                                        const ShardManifest& manifest,
+                                        const std::string& journal_path,
+                                        std::size_t threads = 0);
+
+}  // namespace drowsy::distrib

@@ -126,6 +126,30 @@ WelchResult welch_t_test(std::size_t n1, double mean1, double var1, std::size_t 
   return result;
 }
 
+namespace {
+
+MetricVerdict metric_verdict(const util::OnlineStats& a, const util::OnlineStats& b,
+                             double alpha) {
+  MetricVerdict v;
+  v.mean_a = a.mean();
+  v.mean_b = b.mean();
+  if (a.count() < 2 || b.count() < 2) {
+    v.verdict = "insufficient-replicates";
+    return v;
+  }
+  v.test = welch_t_test(a.count(), v.mean_a, sample_variance(a), b.count(), v.mean_b,
+                        sample_variance(b));
+  v.significant = v.test.p < alpha;
+  if (!v.significant) {
+    v.verdict = "tie";
+  } else {
+    v.verdict = v.mean_a < v.mean_b ? "a<b" : "a>b";
+  }
+  return v;
+}
+
+}  // namespace
+
 std::vector<PolicyComparison> compare_policies(const std::vector<scenario::RunResult>& results,
                                                double alpha) {
   const std::vector<Group> groups = group_runs(results);
@@ -154,20 +178,9 @@ std::vector<PolicyComparison> compare_policies(const std::vector<scenario::RunRe
         cmp.policy_b = b.policy;
         cmp.runs_a = a.kwh.count();
         cmp.runs_b = b.kwh.count();
-        cmp.kwh_a = a.kwh.mean();
-        cmp.kwh_b = b.kwh.mean();
-        if (cmp.runs_a < 2 || cmp.runs_b < 2) {
-          cmp.verdict = "insufficient-replicates";
-        } else {
-          cmp.test = welch_t_test(cmp.runs_a, cmp.kwh_a, sample_variance(a.kwh),
-                                  cmp.runs_b, cmp.kwh_b, sample_variance(b.kwh));
-          cmp.significant = cmp.test.p < alpha;
-          if (!cmp.significant) {
-            cmp.verdict = "tie";
-          } else {
-            cmp.verdict = cmp.kwh_a < cmp.kwh_b ? "a<b" : "a>b";
-          }
-        }
+        cmp.kwh = metric_verdict(a.kwh, b.kwh, alpha);
+        cmp.sla = metric_verdict(a.sla, b.sla, alpha);
+        cmp.wake_p99 = metric_verdict(a.wake_p99_ms, b.wake_p99_ms, alpha);
         comparisons.push_back(std::move(cmp));
       }
     }
@@ -249,15 +262,50 @@ std::string to_json(const std::vector<ReplicateRow>& rows) {
   return out;
 }
 
+namespace {
+
+void append_verdict_columns(std::string& out, const MetricVerdict& v) {
+  out += num(v.mean_a);
+  out += ",";
+  out += num(v.mean_b);
+  out += ",";
+  out += num(v.test.t);
+  out += ",";
+  out += num(v.test.df);
+  out += ",";
+  out += num(v.test.p);
+  out += ",";
+  out += v.significant ? "1" : "0";
+  out += ",";
+  out += v.verdict;
+}
+
+}  // namespace
+
 std::string to_csv(const std::vector<PolicyComparison>& comparisons) {
   std::string out =
-      "scenario,policy_a,policy_b,runs_a,runs_b,kwh_a,kwh_b,t,df,p,significant,verdict\n";
+      "scenario,policy_a,policy_b,runs_a,runs_b,"
+      "kwh_a,kwh_b,kwh_t,kwh_df,kwh_p,kwh_significant,kwh_verdict,"
+      "sla_a,sla_b,sla_t,sla_df,sla_p,sla_significant,sla_verdict,"
+      "wake_p99_a,wake_p99_b,wake_p99_t,wake_p99_df,wake_p99_p,"
+      "wake_p99_significant,wake_p99_verdict\n";
   for (const PolicyComparison& c : comparisons) {
-    out += c.scenario + "," + c.policy_a + "," + c.policy_b + "," +
-           std::to_string(c.runs_a) + "," + std::to_string(c.runs_b) + "," +
-           num(c.kwh_a) + "," + num(c.kwh_b) + "," + num(c.test.t) + "," +
-           num(c.test.df) + "," + num(c.test.p) + "," + (c.significant ? "1" : "0") +
-           "," + c.verdict + "\n";
+    out += c.scenario;
+    out += ",";
+    out += c.policy_a;
+    out += ",";
+    out += c.policy_b;
+    out += ",";
+    out += std::to_string(c.runs_a);
+    out += ",";
+    out += std::to_string(c.runs_b);
+    out += ",";
+    append_verdict_columns(out, c.kwh);
+    out += ",";
+    append_verdict_columns(out, c.sla);
+    out += ",";
+    append_verdict_columns(out, c.wake_p99);
+    out += "\n";
   }
   return out;
 }
@@ -280,12 +328,15 @@ std::string stats_table(const std::vector<ReplicateRow>& rows) {
 std::string comparison_table(const std::vector<PolicyComparison>& comparisons) {
   std::string out =
       "scenario              policy a        policy b          kWh a     kWh b"
-      "        p  verdict\n";
-  char buf[200];
+      "        p  kWh-verdict   SLA a%   SLA b%    sla-p  sla-verdict\n";
+  char buf[240];
   for (const PolicyComparison& c : comparisons) {
-    std::snprintf(buf, sizeof(buf), "%-21s %-15s %-15s %8.2f  %8.2f  %7.4f  %s\n",
-                  c.scenario.c_str(), c.policy_a.c_str(), c.policy_b.c_str(), c.kwh_a,
-                  c.kwh_b, c.test.p, c.verdict.c_str());
+    std::snprintf(buf, sizeof(buf),
+                  "%-21s %-15s %-15s %8.2f  %8.2f  %7.4f  %-12s %7.2f  %7.2f  %7.4f  %s\n",
+                  c.scenario.c_str(), c.policy_a.c_str(), c.policy_b.c_str(),
+                  c.kwh.mean_a, c.kwh.mean_b, c.kwh.test.p, c.kwh.verdict.c_str(),
+                  100.0 * c.sla.mean_a, 100.0 * c.sla.mean_b, c.sla.test.p,
+                  c.sla.verdict.c_str());
     out += buf;
   }
   return out;

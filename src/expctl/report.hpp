@@ -64,22 +64,37 @@ struct WelchResult {
 [[nodiscard]] WelchResult welch_t_test(std::size_t n1, double mean1, double var1,
                                        std::size_t n2, double mean2, double var2);
 
-/// Energy verdict for one policy pair on one scenario.
+/// One metric's Welch verdict for a policy pair.  The verdict states the
+/// direction of the mean difference ("a<b", "a>b") when the test rejects
+/// equal means at alpha, "tie" otherwise, and "insufficient-replicates"
+/// when either arm has fewer than two runs.  Which direction *wins* is
+/// the metric's business: lower is better for kWh and wake-p99, higher
+/// for SLA attainment.
+struct MetricVerdict {
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  WelchResult test;
+  bool significant = false;  ///< p < alpha (and enough replicates)
+  std::string verdict;
+};
+
+/// Verdicts for one policy pair on one scenario.  Energy alone can crown
+/// a policy that saves kWh by sleeping through wakes, so the SLA and
+/// wake-latency verdicts ride alongside: a genuine win is "kwh a<b"
+/// without a significant SLA/wake regression.
 struct PolicyComparison {
   std::string scenario;
   std::string policy_a;
   std::string policy_b;
   std::size_t runs_a = 0;
   std::size_t runs_b = 0;
-  double kwh_a = 0.0;  ///< mean kWh of policy_a
-  double kwh_b = 0.0;
-  WelchResult test;    ///< Welch's t-test on the kWh replicates
-  bool significant = false;  ///< p < alpha (and enough replicates)
-  std::string verdict;  ///< "a<b", "a>b" or "tie" ("insufficient-replicates" when n<2)
+  MetricVerdict kwh;       ///< energy (lower is better)
+  MetricVerdict sla;       ///< SLA attainment (higher is better)
+  MetricVerdict wake_p99;  ///< wake-latency p99 ms (lower is better)
 };
 
 /// All policy pairs per scenario, in first-appearance order, tested on
-/// energy at significance level `alpha`.
+/// energy, SLA attainment and wake-p99 at significance level `alpha`.
 [[nodiscard]] std::vector<PolicyComparison> compare_policies(
     const std::vector<scenario::RunResult>& results, double alpha = 0.05);
 

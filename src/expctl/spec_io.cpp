@@ -1,5 +1,6 @@
 #include "expctl/spec_io.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <initializer_list>
 #include <limits>
@@ -54,6 +55,20 @@ sc::TraceKind trace_kind_from_string(const std::string& name) {
   return enum_from_string(name, all_trace_kinds(), "trace kind");
 }
 
+void check_keys(const Json& obj, const std::string& path,
+                std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : obj.items()) {
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) throw SpecError(path + ": unknown key \"" + key + "\"");
+  }
+}
+
 sc::Policy policy_from_string(const std::string& name) {
   return enum_from_string(name, all_policies(), "policy");
 }
@@ -74,20 +89,6 @@ auto at_path(const std::string& path, Fn&& fn) -> decltype(fn()) {
 
 void require_object(const Json& j, const std::string& path) {
   if (!j.is_object()) throw SpecError(path + ": expected an object");
-}
-
-void check_keys(const Json& obj, const std::string& path,
-                std::initializer_list<std::string_view> allowed) {
-  for (const auto& [key, value] : obj.items()) {
-    bool known = false;
-    for (const std::string_view a : allowed) {
-      if (key == a) {
-        known = true;
-        break;
-      }
-    }
-    if (!known) throw SpecError(path + ": unknown key \"" + key + "\"");
-  }
 }
 
 int get_int(const Json& obj, const char* key, int fallback, const std::string& path) {
@@ -247,6 +248,8 @@ Json to_json(const sc::ScenarioSpec& spec) {
   j.set("quick_resume", spec.quick_resume);
   j.set("opportunistic_step", spec.opportunistic_step);
   j.set("suspend_check_interval_ms", spec.suspend_check_interval);
+  j.set("grace_min_ms", spec.grace_min);
+  j.set("grace_max_ms", spec.grace_max);
   return j;
 }
 
@@ -257,7 +260,8 @@ sc::ScenarioSpec scenario_spec_from_json(const Json& j) {
              {"name", "description", "paper_figure", "hosts", "host_prefix",
               "host_first_index", "host_template", "power", "vms", "pretrain_days",
               "duration_days", "request_rate_per_hour", "seed", "relocate_all",
-              "quick_resume", "opportunistic_step", "suspend_check_interval_ms"});
+              "quick_resume", "opportunistic_step", "suspend_check_interval_ms",
+              "grace_min_ms", "grace_max_ms"});
   sc::ScenarioSpec spec;
   spec.name = get_string(j, "name", spec.name, path);
   const std::string where = spec.name.empty() ? path : "scenario " + spec.name;
@@ -322,6 +326,8 @@ sc::ScenarioSpec scenario_spec_from_json(const Json& j) {
       get_bool(j, "opportunistic_step", spec.opportunistic_step, where);
   spec.suspend_check_interval = get_duration_ms(j, "suspend_check_interval_ms",
                                                 spec.suspend_check_interval, where);
+  spec.grace_min = get_duration_ms(j, "grace_min_ms", spec.grace_min, where);
+  spec.grace_max = get_duration_ms(j, "grace_max_ms", spec.grace_max, where);
 
   if (std::string problem = spec.validate(); !problem.empty()) {
     throw SpecError("invalid scenario: " + problem);
@@ -401,7 +407,9 @@ SweepSpec sweep_from_json(const Json& j, const sc::ScenarioRegistry& registry) {
   if (const Json* axes = j.find("axes")) {
     const std::string axes_path = path + ".axes";
     require_object(*axes, axes_path);
-    check_keys(*axes, axes_path, {"hosts", "request_rate_per_hour"});
+    check_keys(*axes, axes_path,
+               {"hosts", "request_rate_per_hour", "grace_max_ms",
+                "suspend_check_interval_ms"});
     if (const Json* hosts = axes->find("hosts")) {
       for (const Json& v : at_path(axes_path + ".hosts", [&]() -> const std::vector<Json>& {
              return hosts->elements();
@@ -424,6 +432,20 @@ SweepSpec sweep_from_json(const Json& j, const sc::ScenarioRegistry& registry) {
         sweep.request_rate_axis.push_back(value);
       }
     }
+    const auto duration_axis = [&](const char* key, std::vector<util::SimTime>& out) {
+      const Json* values = axes->find(key);
+      if (values == nullptr) return;
+      const std::string key_path = axes_path + "." + key;
+      for (const Json& v : at_path(key_path, [&]() -> const std::vector<Json>& {
+             return values->elements();
+           })) {
+        const util::SimTime ms = at_path(key_path, [&] { return v.as_int(); });
+        if (ms <= 0) throw SpecError(key_path + ": values must be positive");
+        out.push_back(ms);
+      }
+    };
+    duration_axis("grace_max_ms", sweep.grace_max_axis);
+    duration_axis("suspend_check_interval_ms", sweep.check_interval_axis);
   }
   return sweep;
 }
@@ -450,17 +472,37 @@ std::vector<sc::BatchJob> expand(const SweepSpec& sweep) {
     const std::vector<double> rates = sweep.request_rate_axis.empty()
                                           ? std::vector<double>{base.request_rate_per_hour}
                                           : sweep.request_rate_axis;
+    const std::vector<util::SimTime> graces = sweep.grace_max_axis.empty()
+                                                  ? std::vector<util::SimTime>{base.grace_max}
+                                                  : sweep.grace_max_axis;
+    const std::vector<util::SimTime> intervals =
+        sweep.check_interval_axis.empty()
+            ? std::vector<util::SimTime>{base.suspend_check_interval}
+            : sweep.check_interval_axis;
     for (const int h : hosts) {
       for (const double rate : rates) {
-        sc::ScenarioSpec spec = base;
-        spec.hosts = h;
-        spec.request_rate_per_hour = rate;
-        if (!sweep.hosts_axis.empty()) spec.name += ".h" + std::to_string(h);
-        if (!sweep.request_rate_axis.empty()) spec.name += ".r" + axis_token(rate);
-        if (std::string problem = spec.validate(); !problem.empty()) {
-          throw SpecError("sweep axis produced an invalid scenario: " + problem);
+        for (const util::SimTime grace : graces) {
+          for (const util::SimTime interval : intervals) {
+            sc::ScenarioSpec spec = base;
+            spec.hosts = h;
+            spec.request_rate_per_hour = rate;
+            spec.grace_max = grace;
+            // An axis grace_max below the base grace_min would fail
+            // validate(); clamp the floor so short-grace ablations work.
+            spec.grace_min = std::min(spec.grace_min, grace);
+            spec.suspend_check_interval = interval;
+            if (!sweep.hosts_axis.empty()) spec.name += ".h" + std::to_string(h);
+            if (!sweep.request_rate_axis.empty()) spec.name += ".r" + axis_token(rate);
+            if (!sweep.grace_max_axis.empty()) spec.name += ".g" + std::to_string(grace);
+            if (!sweep.check_interval_axis.empty()) {
+              spec.name += ".c" + std::to_string(interval);
+            }
+            if (std::string problem = spec.validate(); !problem.empty()) {
+              throw SpecError("sweep axis produced an invalid scenario: " + problem);
+            }
+            variants.push_back(std::move(spec));
+          }
         }
-        variants.push_back(std::move(spec));
       }
     }
   }

@@ -18,7 +18,9 @@
 //     "replicates": 3,              // or "seeds": [1, 2, 3]
 //     "axes": {                     // optional per-scenario overrides
 //       "hosts": [4, 8],
-//       "request_rate_per_hour": [10, 120]
+//       "request_rate_per_hour": [10, 120],
+//       "grace_max_ms": [30000, 120000],          // ablation: grace band top
+//       "suspend_check_interval_ms": [15000, 30000]
 //     }
 //   }
 //
@@ -29,8 +31,10 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "expctl/json.hpp"
@@ -56,6 +60,12 @@ class SpecError : public std::runtime_error {
 [[nodiscard]] const std::vector<scenario::TraceKind>& all_trace_kinds();
 [[nodiscard]] const std::vector<scenario::Policy>& all_policies();
 
+/// Reject unknown object keys: every key of `obj` must be listed in
+/// `allowed`, else SpecError "<path>: unknown key \"...\"".  The shared
+/// strictness primitive for every reader here and in distrib.
+void check_keys(const Json& obj, const std::string& path,
+                std::initializer_list<std::string_view> allowed);
+
 // --- spec <-> JSON -------------------------------------------------------------
 
 [[nodiscard]] Json to_json(const scenario::TraceSpec& spec);
@@ -79,6 +89,8 @@ struct SweepSpec {
   std::size_t replicates = 1;
   std::vector<int> hosts_axis;                ///< empty = keep each base's hosts
   std::vector<double> request_rate_axis;      ///< empty = keep each base's rate
+  std::vector<util::SimTime> grace_max_axis;  ///< empty = keep each base's grace_max
+  std::vector<util::SimTime> check_interval_axis;  ///< empty = keep base's interval
 };
 
 /// Parse a sweep document.  String entries in "scenarios" are looked up
@@ -86,10 +98,11 @@ struct SweepSpec {
 [[nodiscard]] SweepSpec sweep_from_json(const Json& j,
                                         const scenario::ScenarioRegistry& registry);
 
-/// Expand to the job grid: scenario x hosts-axis x rate-axis x policy x
-/// seed, in scenario::cross() order.  Axis-derived specs get suffixed
-/// names ("paper-testbed.h8.r120") and are re-validated; replicate seeds
-/// follow cross()'s rule (first = spec.seed, then mix_seed(spec.seed, r)).
+/// Expand to the job grid: scenario x hosts-axis x rate-axis x grace-axis
+/// x check-interval-axis x policy x seed, in scenario::cross() order.
+/// Axis-derived specs get suffixed names ("paper-testbed.h8.r120.g30000.c15000")
+/// and are re-validated; replicate seeds follow cross()'s rule
+/// (first = spec.seed, then mix_seed(spec.seed, r)).
 [[nodiscard]] std::vector<scenario::BatchJob> expand(const SweepSpec& sweep);
 
 // --- file helpers --------------------------------------------------------------

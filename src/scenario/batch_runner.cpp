@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 
 #include "scenario/trace_cache.hpp"
 #include "util/log.hpp"
@@ -44,14 +45,24 @@ std::vector<BatchJob> cross(const std::vector<ScenarioSpec>& specs,
 BatchRunner::BatchRunner(std::size_t threads) : pool_(threads) {}
 
 std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs) {
+  return run(jobs, CompletionCallback{});
+}
+
+std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
+                                        const CompletionCallback& on_complete) {
   std::vector<RunResult> results(jobs.size());
   TraceCache trace_cache;  // shared across the batch; every policy arm of a
                            // (scenario, seed) replicate reuses the same traces
+  std::mutex complete_mutex;
   // parallel_for rethrows the first failing run's exception here.
   util::parallel_for(pool_, jobs.size(), [&](std::size_t i) {
     const BatchJob& job = jobs[i];
     const std::uint64_t seed = job.seed != 0 ? job.seed : job.spec.seed;
     results[i] = run_one(job.spec, job.policy, seed, &trace_cache);
+    if (on_complete) {
+      const std::lock_guard<std::mutex> lock(complete_mutex);
+      on_complete(i, results[i]);
+    }
   });
   last_trace_hits_ = trace_cache.hits();
   last_trace_misses_ = trace_cache.misses();

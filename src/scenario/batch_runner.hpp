@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,12 +39,25 @@ class BatchRunner {
   /// `threads` = worker count; 0 picks hardware concurrency.
   explicit BatchRunner(std::size_t threads = 0);
 
+  /// Observer for finished runs: (job index, result).  Invoked from worker
+  /// threads in *completion* order (not job order), serialized under an
+  /// internal mutex so implementations may write to shared sinks (e.g. a
+  /// run journal) without their own locking.  Exceptions thrown by the
+  /// callback abort the batch like a failing run.
+  using CompletionCallback = std::function<void(std::size_t, const RunResult&)>;
+
   /// Execute every job; results arrive in job order regardless of the
   /// execution schedule.  The first exception thrown by a run (e.g. an
   /// invalid spec) is rethrown on the caller thread.  Jobs share one
   /// TraceCache for the duration of the call, so the batch materializes
   /// each distinct (TraceSpec, seed) trace once instead of once per run.
   [[nodiscard]] std::vector<RunResult> run(const std::vector<BatchJob>& jobs);
+
+  /// Same, additionally reporting each finished run to `on_complete` —
+  /// the hook crash-safe journaling hangs off (a row is observable as
+  /// soon as its run finishes, not when the whole batch does).
+  [[nodiscard]] std::vector<RunResult> run(const std::vector<BatchJob>& jobs,
+                                           const CompletionCallback& on_complete);
 
   [[nodiscard]] std::size_t thread_count() const { return pool_.thread_count(); }
 

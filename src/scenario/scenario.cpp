@@ -151,6 +151,8 @@ std::string ScenarioSpec::validate() const {
   if (pretrain_days < 0) return name + ": pretrain_days must be non-negative";
   if (request_rate_per_hour < 0.0) return name + ": request rate must be non-negative";
   if (suspend_check_interval <= 0) return name + ": suspend check interval must be positive";
+  if (grace_min <= 0) return name + ": grace_min must be positive";
+  if (grace_max < grace_min) return name + ": grace_max must be >= grace_min";
   for (const VmGroup& g : vms) {
     if (g.count <= 0) return name + ": VM group '" + g.name_prefix + "' has count <= 0";
     if (g.vcpus <= 0 || g.memory_mb <= 0) {
@@ -257,6 +259,8 @@ std::unique_ptr<ScenarioRun> build(const ScenarioSpec& spec, Policy policy,
   opts.quick_resume = spec.quick_resume;
   opts.relocate_all = spec.relocate_all && policy == Policy::DrowsyDc;
   opts.drowsy.suspend.check_interval = spec.suspend_check_interval;
+  opts.drowsy.suspend.grace_min = spec.grace_min;
+  opts.drowsy.suspend.grace_max = spec.grace_max;
   opts.drowsy.placement.opportunistic_step = spec.opportunistic_step;
   // Policy wiring mirrors the paper's §VI-A-1 ground rules: every baseline
   // that suspends uses "the exact same algorithm as Drowsy-DC, the grace

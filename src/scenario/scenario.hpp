@@ -131,6 +131,10 @@ struct ScenarioSpec {
   bool quick_resume = true;      ///< the paper's optimized ≈800 ms resume
   bool opportunistic_step = true;  ///< Drowsy's 7σ step (ablation knob)
   util::SimTime suspend_check_interval = util::seconds(30);
+  /// Grace-time band (§IV, "between 5s and 2min"); only Drowsy-DC uses
+  /// grace time, so these are ablation axes for the headline policy.
+  util::SimTime grace_min = util::seconds(5);
+  util::SimTime grace_max = util::minutes(2);
 
   [[nodiscard]] int total_vms() const;
 

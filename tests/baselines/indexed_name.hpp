@@ -1,0 +1,18 @@
+// Shared by the baselines test fixtures: prefix+n built by append, not
+// operator+(const char*, string&&), which GCC 12's -O3 -Wrestrict pass
+// flags as a potentially overlapping self-memcpy (upstream PR105651,
+// false positive, gone in GCC 13).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace drowsy_test {
+
+inline std::string indexed_name(const char* prefix, std::size_t n) {
+  std::string name(prefix);
+  name += std::to_string(n);
+  return name;
+}
+
+}  // namespace drowsy_test

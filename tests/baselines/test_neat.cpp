@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "indexed_name.hpp"
 #include "trace/trace.hpp"
 
 namespace b = drowsy::baselines;
@@ -10,16 +11,18 @@ namespace t = drowsy::trace;
 
 namespace {
 
+using drowsy_test::indexed_name;
+
 struct NeatFixture : ::testing::Test {
   s::EventQueue q;
   s::Cluster cluster{q};
 
   s::Host& add_host(int max_vms = 4) {
     return cluster.add_host(
-        s::HostSpec{"P" + std::to_string(cluster.hosts().size() + 1), 8, 16384, max_vms});
+        s::HostSpec{indexed_name("P", cluster.hosts().size() + 1), 8, 16384, max_vms});
   }
   s::Vm& add_vm(double level, int mem_mb = 2048) {
-    return cluster.add_vm(s::VmSpec{"V" + std::to_string(cluster.vms().size() + 1), 2, mem_mb},
+    return cluster.add_vm(s::VmSpec{indexed_name("V", cluster.vms().size() + 1), 2, mem_mb},
                           t::ActivityTrace(std::vector<double>(600, level)));
   }
 };
@@ -162,7 +165,7 @@ TEST_F(NeatFixture, RandomSelectionIsDeterministicPerSeed) {
     cl.add_host(s::HostSpec{"P2", 8, 16384, 4});
     std::vector<s::VmId> ids;
     for (int i = 0; i < 4; ++i) {
-      auto& vm = cl.add_vm(s::VmSpec{"V" + std::to_string(i), 2, 2048},
+      auto& vm = cl.add_vm(s::VmSpec{indexed_name("V", static_cast<std::size_t>(i)), 2, 2048},
                            t::ActivityTrace(std::vector<double>(100, 1.0)));
       cl.place(vm.id(), h1.id());
       ids.push_back(vm.id());

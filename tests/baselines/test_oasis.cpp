@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "indexed_name.hpp"
 #include "trace/generators.hpp"
 
 namespace b = drowsy::baselines;
@@ -10,16 +11,18 @@ namespace t = drowsy::trace;
 
 namespace {
 
+using drowsy_test::indexed_name;
+
 struct OasisFixture : ::testing::Test {
   s::EventQueue q;
   s::Cluster cluster{q};
 
   s::Host& add_host(int max_vms = 2) {
     return cluster.add_host(
-        s::HostSpec{"P" + std::to_string(cluster.hosts().size() + 1), 8, 16384, max_vms});
+        s::HostSpec{indexed_name("P", cluster.hosts().size() + 1), 8, 16384, max_vms});
   }
   s::Vm& add_vm(t::ActivityTrace trace) {
-    return cluster.add_vm(s::VmSpec{"V" + std::to_string(cluster.vms().size() + 1), 2, 6144},
+    return cluster.add_vm(s::VmSpec{indexed_name("V", cluster.vms().size() + 1), 2, 6144},
                           std::move(trace));
   }
 };

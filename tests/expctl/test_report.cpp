@@ -122,12 +122,32 @@ TEST(Report, ComparePoliciesVerdicts) {
   const auto comparisons = ec::compare_policies(results, 0.05);
   ASSERT_EQ(comparisons.size(), 2u);
   EXPECT_EQ(comparisons[0].scenario, "sep");
-  EXPECT_TRUE(comparisons[0].significant);
-  EXPECT_EQ(comparisons[0].verdict, "a<b");  // cheap listed first, lower kWh
-  EXPECT_LT(comparisons[0].test.p, 1e-6);
+  EXPECT_TRUE(comparisons[0].kwh.significant);
+  EXPECT_EQ(comparisons[0].kwh.verdict, "a<b");  // cheap listed first, lower kWh
+  EXPECT_LT(comparisons[0].kwh.test.p, 1e-6);
   EXPECT_EQ(comparisons[1].scenario, "tied");
-  EXPECT_FALSE(comparisons[1].significant);
-  EXPECT_EQ(comparisons[1].verdict, "tie");
+  EXPECT_FALSE(comparisons[1].kwh.significant);
+  EXPECT_EQ(comparisons[1].kwh.verdict, "tie");
+  // Identical SLA in every run: the SLA verdict must be a tie everywhere.
+  EXPECT_EQ(comparisons[0].sla.verdict, "tie");
+}
+
+TEST(Report, SlaVerdictCatchesSleepyWinner) {
+  // "sleepy" wins on energy but misses wakes; the SLA verdict must flag
+  // the regression instead of letting the kWh verdict stand alone.
+  std::vector<sc::RunResult> results;
+  drowsy::util::Rng rng(13);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    results.push_back(
+        run("s", "sleepy", i, 10.0 + rng.uniform(-0.5, 0.5), 0.80 + rng.uniform(-0.02, 0.02)));
+    results.push_back(
+        run("s", "awake", i, 20.0 + rng.uniform(-0.5, 0.5), 0.99 + rng.uniform(-0.005, 0.005)));
+  }
+  const auto comparisons = ec::compare_policies(results, 0.05);
+  ASSERT_EQ(comparisons.size(), 1u);
+  EXPECT_EQ(comparisons[0].kwh.verdict, "a<b");  // sleepy saves energy...
+  EXPECT_TRUE(comparisons[0].sla.significant);   // ...by missing wakes
+  EXPECT_EQ(comparisons[0].sla.verdict, "a<b");  // lower SLA attainment
 }
 
 TEST(Report, SingleReplicateYieldsNoVerdict) {
@@ -135,8 +155,9 @@ TEST(Report, SingleReplicateYieldsNoVerdict) {
                                               run("s", "b", 1, 20.0)};
   const auto comparisons = ec::compare_policies(results);
   ASSERT_EQ(comparisons.size(), 1u);
-  EXPECT_FALSE(comparisons[0].significant);
-  EXPECT_EQ(comparisons[0].verdict, "insufficient-replicates");
+  EXPECT_FALSE(comparisons[0].kwh.significant);
+  EXPECT_EQ(comparisons[0].kwh.verdict, "insufficient-replicates");
+  EXPECT_EQ(comparisons[0].sla.verdict, "insufficient-replicates");
 }
 
 TEST(Report, EmissionShapes) {

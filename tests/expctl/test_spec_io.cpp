@@ -145,6 +145,45 @@ TEST(SpecIo, SweepAxesExpandIntoSuffixedVariants) {
   for (const auto& job : jobs) EXPECT_EQ(job.spec.validate(), "") << job.spec.name;
 }
 
+TEST(SpecIo, AblationAxesExpandGraceAndCheckInterval) {
+  const ec::Json j = ec::Json::parse(R"({
+    "name": "ablation",
+    "scenarios": ["dev-fleet-idle"],
+    "policies": ["drowsy-dc"],
+    "axes": {"grace_max_ms": [30000, 120000], "suspend_check_interval_ms": [15000]}
+  })");
+  const ec::SweepSpec sweep = ec::sweep_from_json(j, sc::ScenarioRegistry::builtin());
+  const auto jobs = ec::expand(sweep);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].spec.name, "dev-fleet-idle.g30000.c15000");
+  EXPECT_EQ(jobs[0].spec.grace_max, 30000);
+  EXPECT_EQ(jobs[0].spec.suspend_check_interval, 15000);
+  EXPECT_EQ(jobs[1].spec.grace_max, 120000);
+  // A grace_max below the default grace_min (5 s) pulls the floor down
+  // with it instead of tripping validate().
+  const ec::Json tiny = ec::Json::parse(R"({
+    "scenarios": ["dev-fleet-idle"], "axes": {"grace_max_ms": [1000]}
+  })");
+  const auto tiny_jobs =
+      ec::expand(ec::sweep_from_json(tiny, sc::ScenarioRegistry::builtin()));
+  ASSERT_EQ(tiny_jobs.size(), 3u);  // paper's 3 default policies
+  EXPECT_EQ(tiny_jobs[0].spec.grace_max, 1000);
+  EXPECT_LE(tiny_jobs[0].spec.grace_min, 1000);
+  for (const auto& job : tiny_jobs) EXPECT_EQ(job.spec.validate(), "") << job.spec.name;
+}
+
+TEST(SpecIo, GraceFieldsRoundTripAndValidate) {
+  sc::ScenarioSpec spec = *sc::ScenarioRegistry::builtin().find("dev-fleet-idle");
+  spec.grace_min = 2000;
+  spec.grace_max = 45000;
+  const ec::Json j = ec::to_json(spec);
+  const sc::ScenarioSpec back = ec::scenario_spec_from_json(j);
+  EXPECT_EQ(back.grace_min, 2000);
+  EXPECT_EQ(back.grace_max, 45000);
+  spec.grace_max = 1000;  // below grace_min
+  EXPECT_NE(spec.validate(), "");
+}
+
 TEST(SpecIo, SweepRejectsBadInput) {
   const auto& registry = sc::ScenarioRegistry::builtin();
   const auto parse = [&](const char* text) {
@@ -175,6 +214,24 @@ TEST(SpecIo, SweepRejectsBadInput) {
   const ec::SweepSpec infeasible = parse(
       R"({"scenarios": ["paper-testbed"], "axes": {"hosts": [1]}})");
   EXPECT_THROW(static_cast<void>(ec::expand(infeasible)), ec::SpecError);
+  // Axis typos are dotted-path errors, same as the established axes.
+  try {
+    static_cast<void>(parse(
+        R"({"scenarios": ["paper-testbed"], "axes": {"grace_ms": [1000]}})"));
+    FAIL() << "typo'd axis key must throw";
+  } catch (const ec::SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("sweep.axes"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("grace_ms"), std::string::npos) << e.what();
+  }
+  // Non-positive durations are rejected per-axis.
+  EXPECT_THROW(
+      static_cast<void>(parse(
+          R"({"scenarios": ["paper-testbed"], "axes": {"grace_max_ms": [0]}})")),
+      ec::SpecError);
+  EXPECT_THROW(static_cast<void>(parse(
+                   R"({"scenarios": ["paper-testbed"],
+                       "axes": {"suspend_check_interval_ms": [-5]}})")),
+               ec::SpecError);
 }
 
 TEST(SpecIo, InlineSweepScenario) {

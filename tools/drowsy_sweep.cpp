@@ -4,11 +4,13 @@
 //   drowsy_sweep run <sweep.json> [--threads N] [--alpha A]
 //                    [--csv stats.csv] [--runs-csv runs.csv]
 //                    [--json stats.json] [--verdicts-csv verdicts.csv]
+//                    [--bench-json bench.json]
 //       Expand the sweep into its (scenario x axes x policy x seed) job
 //       grid, execute it on the parallel BatchRunner (traces materialized
 //       once per sweep via TraceCache), print the replicate-statistics
 //       table (mean ± CI-95) and the per-policy-pair Welch verdicts, and
-//       optionally write CSV/JSON artifacts.
+//       optionally write CSV/JSON artifacts plus a wall-clock/trace-cache
+//       benchmark record.
 //   drowsy_sweep validate <sweep.json>
 //       Parse and expand without running; prints the job count.
 //   drowsy_sweep list
@@ -16,16 +18,47 @@
 //   drowsy_sweep dump [<scenario>...]
 //       Serialize registry scenarios (all by default) as JSON — the
 //       starting point for hand-edited sweep files.
+//
+// Sharded execution (multi-machine sweeps; see README "Sharded sweeps"):
+//
+//   drowsy_sweep shard plan <sweep.json> --shards N
+//                    [--strategy contiguous|strided|balanced] [--out-dir D]
+//       Split the job grid into N shards (balanced by estimated job cost
+//       by default) and write one manifest per shard to D (default ".").
+//   drowsy_sweep shard run <manifest.json> [--sweep PATH] [--threads N]
+//                    [--journal F]
+//       Execute a shard's outstanding jobs, appending each finished run
+//       to the journal (default: <manifest stem>.journal.jsonl).  Safe to
+//       kill and re-invoke: completed (spec-hash, policy, seed) jobs are
+//       skipped and a torn journal tail is truncated.
+//   drowsy_sweep shard merge <sweep.json> --journal F [--journal F ...]
+//                    [--alpha A] [--csv F] [--runs-csv F] [--json F]
+//                    [--verdicts-csv F]
+//       Validate that the journals cover the grid exactly once, restore
+//       canonical job order, and emit the same tables/artifacts as `run`
+//       — byte-identical to a single-process execution of the sweep.
+//   drowsy_sweep shard status <sweep.json> --journal F [--journal F ...]
+//       Coverage report: completed/missing/duplicate/foreign counts.
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "distrib/merge.hpp"
+#include "distrib/shard.hpp"
+#include "distrib/shard_runner.hpp"
 #include "expctl/report.hpp"
+#include "expctl/runs_io.hpp"
 #include "expctl/spec_io.hpp"
 #include "scenario/batch_runner.hpp"
 #include "scenario/registry.hpp"
 
+namespace dt = drowsy::distrib;
 namespace ec = drowsy::expctl;
 namespace sc = drowsy::scenario;
 
@@ -34,18 +67,31 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s run <sweep.json> [--threads N] [--alpha A] [--csv F]"
-               " [--runs-csv F] [--json F] [--verdicts-csv F]\n"
+               " [--runs-csv F] [--json F] [--verdicts-csv F] [--bench-json F]\n"
                "       %s validate <sweep.json>\n"
                "       %s list\n"
-               "       %s dump [<scenario>...]\n",
-               argv0, argv0, argv0, argv0);
+               "       %s dump [<scenario>...]\n"
+               "       %s shard plan <sweep.json> --shards N [--strategy S] [--out-dir D]\n"
+               "       %s shard run <manifest.json> [--sweep PATH] [--threads N]"
+               " [--journal F]\n"
+               "       %s shard merge <sweep.json> --journal F... [--alpha A] [--csv F]"
+               " [--runs-csv F] [--json F] [--verdicts-csv F]\n"
+               "       %s shard status <sweep.json> --journal F...\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
-ec::SweepSpec load_sweep(const std::string& path) {
-  const std::string text = ec::read_file(path);
-  const ec::Json doc = ec::Json::parse(text);
-  return ec::sweep_from_json(doc, sc::ScenarioRegistry::builtin());
+struct LoadedSweep {
+  ec::SweepSpec sweep;
+  std::string bytes;  ///< raw file content (hashed into shard manifests)
+};
+
+LoadedSweep load_sweep(const std::string& path) {
+  LoadedSweep loaded;
+  loaded.bytes = ec::read_file(path);
+  const ec::Json doc = ec::Json::parse(loaded.bytes);
+  loaded.sweep = ec::sweep_from_json(doc, sc::ScenarioRegistry::builtin());
+  return loaded;
 }
 
 int cmd_list() {
@@ -79,17 +125,28 @@ int cmd_dump(const std::vector<std::string>& names) {
 }
 
 int cmd_validate(const std::string& path) {
-  const ec::SweepSpec sweep = load_sweep(path);
-  const auto jobs = ec::expand(sweep);
+  const LoadedSweep loaded = load_sweep(path);
+  const auto jobs = ec::expand(loaded.sweep);
   std::printf("%s: OK — %zu scenario(s) x %zu policy(ies) -> %zu runs\n",
-              sweep.name.c_str(), sweep.scenarios.size(), sweep.policies.size(),
-              jobs.size());
+              loaded.sweep.name.c_str(), loaded.sweep.scenarios.size(),
+              loaded.sweep.policies.size(), jobs.size());
   return 0;
 }
 
-struct RunOptions {
-  std::string sweep_path;
-  std::size_t threads = 0;  // hardware concurrency
+/// argv[i+1] as the value of `flag`, advancing i; exits with usage status
+/// when the value is missing.  The one flag-parsing primitive every
+/// subcommand shares.
+const char* flag_value(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+/// Artifact destinations shared by `run` and `shard merge` — one emission
+/// path, so sharded output is byte-identical by construction.
+struct EmitOptions {
   double alpha = 0.05;
   std::string stats_csv;
   std::string runs_csv;
@@ -97,22 +154,34 @@ struct RunOptions {
   std::string verdicts_csv;
 };
 
-int cmd_run(const RunOptions& opts) {
-  const ec::SweepSpec sweep = load_sweep(opts.sweep_path);
-  const auto jobs = ec::expand(sweep);
+bool parse_emit_flag(int argc, char** argv, int& i, EmitOptions& opts) {
+  const auto value = [&](const char* flag) { return flag_value(argc, argv, i, flag); };
+  if (std::strcmp(argv[i], "--alpha") == 0) {
+    opts.alpha = std::atof(value("--alpha"));
+    if (opts.alpha <= 0.0 || opts.alpha >= 1.0) {
+      std::fprintf(stderr, "--alpha must be in (0, 1)\n");
+      std::exit(2);
+    }
+  } else if (std::strcmp(argv[i], "--csv") == 0) {
+    opts.stats_csv = value("--csv");
+  } else if (std::strcmp(argv[i], "--runs-csv") == 0) {
+    opts.runs_csv = value("--runs-csv");
+  } else if (std::strcmp(argv[i], "--json") == 0) {
+    opts.stats_json = value("--json");
+  } else if (std::strcmp(argv[i], "--verdicts-csv") == 0) {
+    opts.verdicts_csv = value("--verdicts-csv");
+  } else {
+    return false;
+  }
+  return true;
+}
 
-  sc::BatchRunner runner(opts.threads);
-  std::printf("== %s: %zu runs (%zu threads) ==\n\n", sweep.name.c_str(), jobs.size(),
-              runner.thread_count());
-  const auto results = runner.run(jobs);
-
+/// Print the report tables and write the requested artifacts.
+bool emit_results(const std::vector<sc::RunResult>& results, const EmitOptions& opts) {
   const auto rows = ec::summarize(results);
   const auto verdicts = ec::compare_policies(results, opts.alpha);
   std::printf("%s\n", ec::stats_table(rows).c_str());
   std::printf("%s", ec::comparison_table(verdicts).c_str());
-  std::printf("\ntraces materialized: %llu (reused %llu times)\n",
-              static_cast<unsigned long long>(runner.last_trace_misses()),
-              static_cast<unsigned long long>(runner.last_trace_hits()));
 
   bool ok = true;
   if (!opts.stats_csv.empty()) ok &= sc::write_file(opts.stats_csv, ec::to_csv(rows));
@@ -121,7 +190,256 @@ int cmd_run(const RunOptions& opts) {
   if (!opts.verdicts_csv.empty()) {
     ok &= sc::write_file(opts.verdicts_csv, ec::to_csv(verdicts));
   }
+  return ok;
+}
+
+int parse_threads(const char* text) {
+  const long n = std::atol(text);
+  if (n < 0) {
+    std::fprintf(stderr, "--threads must be non-negative\n");
+    std::exit(2);
+  }
+  return static_cast<int>(n);
+}
+
+// --- run ----------------------------------------------------------------------
+
+struct RunOptions {
+  std::string sweep_path;
+  std::size_t threads = 0;  // hardware concurrency
+  EmitOptions emit;
+  std::string bench_json;
+};
+
+int cmd_run(const RunOptions& opts) {
+  const LoadedSweep loaded = load_sweep(opts.sweep_path);
+  const auto jobs = ec::expand(loaded.sweep);
+
+  sc::BatchRunner runner(opts.threads);
+  std::printf("== %s: %zu runs (%zu threads) ==\n\n", loaded.sweep.name.c_str(),
+              jobs.size(), runner.thread_count());
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = runner.run(jobs);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  bool ok = emit_results(results, opts.emit);
+  std::printf("\ntraces materialized: %llu (reused %llu times)\n",
+              static_cast<unsigned long long>(runner.last_trace_misses()),
+              static_cast<unsigned long long>(runner.last_trace_hits()));
+
+  if (!opts.bench_json.empty()) {
+    ec::Json bench = ec::Json::object();
+    bench.set("sweep", loaded.sweep.name);
+    bench.set("runs", static_cast<std::uint64_t>(jobs.size()));
+    bench.set("threads", static_cast<std::uint64_t>(runner.thread_count()));
+    bench.set("wall_clock_seconds", wall_seconds);
+    bench.set("trace_cache_hits", runner.last_trace_hits());
+    bench.set("trace_cache_misses", runner.last_trace_misses());
+    ok &= sc::write_file(opts.bench_json, bench.dump());
+  }
   return ok ? 0 : 1;
+}
+
+// --- shard subcommands --------------------------------------------------------
+
+/// <stem>.journal.jsonl next to the manifest ("shard_0.json" ->
+/// "shard_0.journal.jsonl").
+std::string default_journal_path(const std::string& manifest_path) {
+  std::string stem = manifest_path;
+  const std::string suffix = ".json";
+  if (stem.size() > suffix.size() &&
+      stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    stem.resize(stem.size() - suffix.size());
+  }
+  return stem + ".journal.jsonl";
+}
+
+int cmd_shard_plan(int argc, char** argv) {
+  std::string sweep_path;
+  std::string out_dir = ".";
+  std::size_t shards = 0;
+  dt::ShardStrategy strategy = dt::ShardStrategy::Balanced;
+  for (int i = 3; i < argc; ++i) {
+    const auto value = [&](const char* flag) { return flag_value(argc, argv, i, flag); };
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      const long n = std::atol(value("--shards"));
+      if (n <= 0) {
+        std::fprintf(stderr, "--shards must be positive\n");
+        return 2;
+      }
+      shards = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--strategy") == 0) {
+      strategy = dt::shard_strategy_from_string(value("--strategy"));
+    } else if (std::strcmp(argv[i], "--out-dir") == 0) {
+      out_dir = value("--out-dir");
+    } else if (sweep_path.empty() && argv[i][0] != '-') {
+      sweep_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (sweep_path.empty() || shards == 0) return usage(argv[0]);
+
+  const LoadedSweep loaded = load_sweep(sweep_path);
+  const auto jobs = ec::expand(loaded.sweep);
+  const auto plan = dt::plan_shards(jobs, shards, strategy);
+
+  if (mkdir(out_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create %s\n", out_dir.c_str());
+    return 1;
+  }
+
+  std::printf("== %s: %zu jobs -> %zu shard(s), %s ==\n", loaded.sweep.name.c_str(),
+              jobs.size(), shards, dt::to_string(strategy));
+  bool ok = true;
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    dt::ShardManifest manifest;
+    manifest.sweep_name = loaded.sweep.name;
+    manifest.sweep_file = sweep_path;
+    manifest.sweep_hash = ec::fnv1a64(loaded.bytes);
+    manifest.shard_index = s;
+    manifest.shard_count = shards;
+    manifest.strategy = strategy;
+    manifest.total_jobs = jobs.size();
+    manifest.job_indices = plan[s];
+
+    double cost = 0.0;
+    for (const std::size_t i : plan[s]) cost += dt::estimate_job_cost(jobs[i]);
+    const std::string path = out_dir + "/shard_" + std::to_string(s) + ".json";
+    ok &= sc::write_file(path, dt::to_json(manifest).dump());
+    std::printf("  %-28s %4zu job(s)  est. cost %10.0f\n", path.c_str(), plan[s].size(),
+                cost);
+  }
+  return ok ? 0 : 1;
+}
+
+int cmd_shard_run(int argc, char** argv) {
+  std::string manifest_path;
+  std::string sweep_override;
+  std::string journal_path;
+  std::size_t threads = 0;
+  for (int i = 3; i < argc; ++i) {
+    const auto value = [&](const char* flag) { return flag_value(argc, argv, i, flag); };
+    if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep_override = value("--sweep");
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      journal_path = value("--journal");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<std::size_t>(parse_threads(value("--threads")));
+    } else if (manifest_path.empty() && argv[i][0] != '-') {
+      manifest_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (manifest_path.empty()) return usage(argv[0]);
+  if (journal_path.empty()) journal_path = default_journal_path(manifest_path);
+
+  const dt::ShardManifest manifest =
+      dt::manifest_from_json(ec::Json::parse(ec::read_file(manifest_path)));
+  const std::string sweep_path =
+      sweep_override.empty() ? manifest.sweep_file : sweep_override;
+  const LoadedSweep loaded = load_sweep(sweep_path);
+  const auto jobs = ec::expand(loaded.sweep);
+  dt::validate_manifest(manifest, loaded.bytes, jobs.size());
+
+  std::printf("== %s shard %zu/%zu: %zu job(s), journal %s ==\n",
+              manifest.sweep_name.c_str(), manifest.shard_index, manifest.shard_count,
+              manifest.job_indices.size(), journal_path.c_str());
+  const dt::ShardRunOutcome outcome = dt::run_shard(jobs, manifest, journal_path, threads);
+  std::printf("resumed %zu, executed %zu (traces materialized %llu, reused %llu)\n",
+              outcome.resumed, outcome.executed,
+              static_cast<unsigned long long>(outcome.trace_misses),
+              static_cast<unsigned long long>(outcome.trace_hits));
+  return 0;
+}
+
+/// Shared by merge/status: sweep path then one or more --journal flags.
+struct JournalSetOptions {
+  std::string sweep_path;
+  std::vector<std::string> journals;
+  EmitOptions emit;
+};
+
+int parse_journal_set(int argc, char** argv, JournalSetOptions& opts, bool allow_emit) {
+  for (int i = 3; i < argc; ++i) {
+    const auto value = [&](const char* flag) { return flag_value(argc, argv, i, flag); };
+    if (std::strcmp(argv[i], "--journal") == 0) {
+      opts.journals.push_back(value("--journal"));
+    } else if (allow_emit && parse_emit_flag(argc, argv, i, opts.emit)) {
+      // handled
+    } else if (opts.sweep_path.empty() && argv[i][0] != '-') {
+      opts.sweep_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opts.sweep_path.empty() || opts.journals.empty()) return usage(argv[0]);
+  return 0;
+}
+
+std::vector<dt::JournalEntry> read_journal_set(const std::vector<std::string>& paths) {
+  std::vector<dt::JournalEntry> entries;
+  for (const std::string& path : paths) {
+    const dt::JournalContents contents = dt::read_journal(path);
+    if (contents.truncated_tail) {
+      std::fprintf(stderr, "note: %s has a torn final row (crashed shard?); ignored\n",
+                   path.c_str());
+    }
+    entries.insert(entries.end(), contents.entries.begin(), contents.entries.end());
+  }
+  return entries;
+}
+
+int cmd_shard_merge(int argc, char** argv) {
+  JournalSetOptions opts;
+  if (const int rc = parse_journal_set(argc, argv, opts, /*allow_emit=*/true); rc != 0) {
+    return rc;
+  }
+  const LoadedSweep loaded = load_sweep(opts.sweep_path);
+  const auto jobs = ec::expand(loaded.sweep);
+  const auto entries = read_journal_set(opts.journals);
+  const auto results = dt::merge_journals(jobs, entries);
+  std::printf("== %s: merged %zu run(s) from %zu journal(s) ==\n\n",
+              loaded.sweep.name.c_str(), results.size(), opts.journals.size());
+  return emit_results(results, opts.emit) ? 0 : 1;
+}
+
+int cmd_shard_status(int argc, char** argv) {
+  JournalSetOptions opts;
+  if (const int rc = parse_journal_set(argc, argv, opts, /*allow_emit=*/false); rc != 0) {
+    return rc;
+  }
+  const LoadedSweep loaded = load_sweep(opts.sweep_path);
+  const auto jobs = ec::expand(loaded.sweep);
+  const auto entries = read_journal_set(opts.journals);
+  const dt::Coverage cov = dt::cover_grid(jobs, entries);
+  std::printf("%s: %zu/%zu run(s) complete\n", loaded.sweep.name.c_str(), cov.completed,
+              cov.total);
+  if (!cov.missing.empty()) {
+    std::printf("  missing: %zu (first grid index %zu)\n", cov.missing.size(),
+                cov.missing.front());
+  }
+  if (!cov.duplicates.empty()) {
+    std::printf("  duplicates: %zu (first grid index %zu)\n", cov.duplicates.size(),
+                cov.duplicates.front());
+  }
+  if (!cov.foreign.empty()) {
+    std::printf("  foreign rows: %zu (e.g. %s)\n", cov.foreign.size(),
+                cov.foreign.front().c_str());
+  }
+  return cov.complete() ? 0 : 3;  // distinct from hard errors (1) and usage (2)
+}
+
+int cmd_shard(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string verb = argv[2];
+  if (verb == "plan") return cmd_shard_plan(argc, argv);
+  if (verb == "run") return cmd_shard_run(argc, argv);
+  if (verb == "merge") return cmd_shard_merge(argc, argv);
+  if (verb == "status") return cmd_shard_status(argc, argv);
+  return usage(argv[0]);
 }
 
 }  // namespace
@@ -141,37 +459,19 @@ int main(int argc, char** argv) {
       if (argc != 3) return usage(argv[0]);
       return cmd_validate(argv[2]);
     }
+    if (command == "shard") {
+      return cmd_shard(argc, argv);
+    }
     if (command == "run") {
       RunOptions opts;
       for (int i = 2; i < argc; ++i) {
-        const auto value = [&](const char* flag) -> const char* {
-          if (i + 1 >= argc) {
-            std::fprintf(stderr, "%s requires a value\n", flag);
-            std::exit(2);
-          }
-          return argv[++i];
-        };
+        const auto value = [&](const char* flag) { return flag_value(argc, argv, i, flag); };
         if (std::strcmp(argv[i], "--threads") == 0) {
-          const long n = std::atol(value("--threads"));
-          if (n < 0) {
-            std::fprintf(stderr, "--threads must be non-negative\n");
-            return 2;
-          }
-          opts.threads = static_cast<std::size_t>(n);
-        } else if (std::strcmp(argv[i], "--alpha") == 0) {
-          opts.alpha = std::atof(value("--alpha"));
-          if (opts.alpha <= 0.0 || opts.alpha >= 1.0) {
-            std::fprintf(stderr, "--alpha must be in (0, 1)\n");
-            return 2;
-          }
-        } else if (std::strcmp(argv[i], "--csv") == 0) {
-          opts.stats_csv = value("--csv");
-        } else if (std::strcmp(argv[i], "--runs-csv") == 0) {
-          opts.runs_csv = value("--runs-csv");
-        } else if (std::strcmp(argv[i], "--json") == 0) {
-          opts.stats_json = value("--json");
-        } else if (std::strcmp(argv[i], "--verdicts-csv") == 0) {
-          opts.verdicts_csv = value("--verdicts-csv");
+          opts.threads = static_cast<std::size_t>(parse_threads(value("--threads")));
+        } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+          opts.bench_json = value("--bench-json");
+        } else if (parse_emit_flag(argc, argv, i, opts.emit)) {
+          // handled
         } else if (opts.sweep_path.empty() && argv[i][0] != '-') {
           opts.sweep_path = argv[i];
         } else {
