@@ -1,0 +1,187 @@
+#include "distrib/daemon.hpp"
+
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "distrib/shard_runner.hpp"
+#include "expctl/spec_io.hpp"
+#include "scenario/registry.hpp"
+
+namespace drowsy::distrib {
+
+namespace ec = drowsy::expctl;
+namespace fs = std::filesystem;
+namespace sc = drowsy::scenario;
+
+namespace {
+
+/// "<stem>.journal.jsonl" for "<stem>.json" (mirrors the CLI default).
+std::string journal_name(const fs::path& manifest) {
+  return manifest.stem().string() + ".journal.jsonl";
+}
+
+void emit(const DaemonOptions& options, const std::string& line) {
+  if (options.on_event) options.on_event(line);
+}
+
+/// Move `from` to `dir`/basename, replacing any previous occupant (a
+/// re-enqueued task supersedes its old terminal record).
+void move_into(const fs::path& from, const fs::path& dir) {
+  fs::rename(from, dir / from.filename());
+}
+
+/// The worker-side state one run_daemon() call operates on.
+struct Queue {
+  const DaemonOptions& options;
+  fs::path root;
+  fs::path claimed;  ///< root/claimed/<worker_id>
+  fs::path done;
+  fs::path failed;
+
+  explicit Queue(const DaemonOptions& opts) : options(opts), root(opts.queue_dir) {
+    if (!fs::is_directory(root)) {
+      throw DistribError("queue directory " + root.string() + " does not exist");
+    }
+    if (options.worker_id.empty() ||
+        options.worker_id.find('/') != std::string::npos) {
+      throw DistribError("worker id must be non-empty and contain no '/'");
+    }
+    claimed = root / "claimed" / options.worker_id;
+    done = root / "done";
+    failed = root / "failed";
+    std::error_code ec_ignored;
+    fs::create_directories(claimed, ec_ignored);
+    fs::create_directories(done, ec_ignored);
+    fs::create_directories(failed, ec_ignored);
+    if (!fs::is_directory(claimed) || !fs::is_directory(done) || !fs::is_directory(failed)) {
+      throw DistribError("cannot create queue subdirectories under " + root.string());
+    }
+  }
+
+  [[nodiscard]] bool stop_requested() const { return fs::exists(root / "STOP"); }
+
+  /// Pending-task candidates: ".json" files in the queue root that parse
+  /// as manifests, in filename order (deterministic claim order).  Files
+  /// that do not parse — the sweep file, a half-copied manifest — are
+  /// skipped without claiming, so they are never at risk of being moved.
+  [[nodiscard]] std::vector<fs::path> pending() const {
+    std::set<fs::path> names;
+    for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
+      try {
+        static_cast<void>(
+            manifest_from_json(ec::Json::parse(ec::read_file(entry.path().string()))));
+      } catch (const std::exception&) {
+        continue;  // not (yet) a manifest
+      }
+      names.insert(entry.path());
+    }
+    return {names.begin(), names.end()};
+  }
+
+  /// Resolve a manifest's sweep_file: basename in the queue root first
+  /// (the enqueue-next-to-manifests layout), then the recorded path.
+  [[nodiscard]] std::string resolve_sweep(const ShardManifest& manifest) const {
+    const fs::path recorded(manifest.sweep_file);
+    const fs::path local = root / recorded.filename();
+    if (fs::exists(local)) return local.string();
+    if (fs::exists(recorded)) return recorded.string();
+    throw DistribError("sweep file " + manifest.sweep_file + " not found (looked for " +
+                       local.string() + " and the recorded path)");
+  }
+
+  /// Execute one claimed manifest to completion and archive it.  Returns
+  /// true on success; on failure the task lands in failed/ with its
+  /// diagnosis and false is returned.  Only queue-unusable conditions
+  /// propagate as exceptions.
+  bool execute(const fs::path& manifest_path) {
+    const fs::path journal = claimed / journal_name(manifest_path);
+    try {
+      const ShardManifest manifest =
+          manifest_from_json(ec::Json::parse(ec::read_file(manifest_path.string())));
+      const std::string sweep_path = resolve_sweep(manifest);
+      const std::string sweep_bytes = ec::read_file(sweep_path);
+      const ec::SweepSpec sweep =
+          ec::sweep_from_json(ec::Json::parse(sweep_bytes), sc::ScenarioRegistry::builtin());
+      const std::vector<sc::BatchJob> grid = ec::expand(sweep);
+      validate_manifest(manifest, sweep_bytes, grid.size());
+      const ShardRunOutcome outcome =
+          run_shard(grid, manifest, journal.string(), options.threads);
+      move_into(journal, done);
+      move_into(manifest_path, done);
+      emit(options, "done " + manifest_path.filename().string() + " (resumed " +
+                        std::to_string(outcome.resumed) + ", executed " +
+                        std::to_string(outcome.executed) + ")");
+      return true;
+    } catch (const std::exception& e) {
+      // Archive the evidence; a broken task must not wedge the queue.
+      std::error_code ec_ignored;
+      if (fs::exists(journal, ec_ignored)) {
+        fs::rename(journal, failed / journal.filename(), ec_ignored);
+      }
+      fs::rename(manifest_path, failed / manifest_path.filename(), ec_ignored);
+      const fs::path note = failed / (manifest_path.stem().string() + ".error.txt");
+      static_cast<void>(sc::write_file(note.string(), std::string(e.what()) + "\n"));
+      emit(options, "failed " + manifest_path.filename().string() + ": " + e.what());
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+DaemonOutcome run_daemon(const DaemonOptions& options) {
+  Queue queue(options);
+  DaemonOutcome outcome;
+
+  // Crash recovery: a previous daemon with this worker id may have died
+  // owning tasks.  Finish them (the journal resume makes this converge)
+  // before competing for new work.
+  std::set<fs::path> leftovers;
+  for (const fs::directory_entry& entry : fs::directory_iterator(queue.claimed)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      leftovers.insert(entry.path());
+    }
+  }
+  for (const fs::path& manifest : leftovers) {
+    emit(options, "resuming claimed " + manifest.filename().string());
+    queue.execute(manifest) ? ++outcome.completed : ++outcome.failed;
+  }
+
+  auto last_work = std::chrono::steady_clock::now();
+  for (;;) {
+    if (queue.stop_requested()) {
+      emit(options, "STOP sentinel observed — exiting");
+      outcome.exit = DaemonExit::Stopped;
+      return outcome;
+    }
+    bool worked = false;
+    for (const fs::path& candidate : queue.pending()) {
+      const fs::path mine = queue.claimed / candidate.filename();
+      std::error_code race;
+      fs::rename(candidate, mine, race);
+      if (race) continue;  // another daemon claimed it first
+      emit(options, "claimed " + candidate.filename().string());
+      queue.execute(mine) ? ++outcome.completed : ++outcome.failed;
+      worked = true;
+      break;  // re-check STOP between tasks
+    }
+    if (worked) {
+      last_work = std::chrono::steady_clock::now();
+      continue;
+    }
+    const double idle_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - last_work).count();
+    if (options.max_idle_s > 0.0 && idle_s >= options.max_idle_s) {
+      emit(options, "idle for " + std::to_string(idle_s) + " s — exiting");
+      outcome.exit = DaemonExit::Idle;
+      return outcome;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+  }
+}
+
+}  // namespace drowsy::distrib

@@ -19,13 +19,17 @@ ec::Json to_json(const JournalEntry& entry) {
   j.set("policy", entry.key.policy);
   j.set("seed", entry.key.seed);
   j.set("result", ec::to_json(entry.result));
+  // Unmeasured rows (old-journal round-trips, hand-built entries) keep
+  // the old schema so re-serializing an old journal is byte-stable.
+  if (entry.has_wall_ms()) j.set("wall_ms", entry.wall_ms);
   return j;
 }
 
 JournalEntry journal_entry_from_json(const ec::Json& j) {
   if (!j.is_object()) throw DistribError("journal row: expected an object");
   try {
-    ec::check_keys(j, "journal row", {"index", "spec_hash", "policy", "seed", "result"});
+    ec::check_keys(j, "journal row",
+                   {"index", "spec_hash", "policy", "seed", "result", "wall_ms"});
   } catch (const ec::SpecError& e) {
     throw DistribError(e.what());  // already prefixed "journal row: ..."
   }
@@ -36,6 +40,14 @@ JournalEntry journal_entry_from_json(const ec::Json& j) {
     entry.key.policy = j.at("policy").as_string();
     entry.key.seed = j.at("seed").as_uint();
     entry.result = ec::run_result_from_json(j.at("result"));
+    // wall_ms arrived in a later schema revision; absent means an old
+    // journal, which must keep parsing (and merging) unchanged.
+    if (const ec::Json* wall = j.find("wall_ms"); wall != nullptr) {
+      entry.wall_ms = wall->as_double();
+      if (entry.wall_ms < 0.0) {
+        throw DistribError("journal row: wall_ms must be non-negative");
+      }
+    }
     // The row's own (policy, seed) must agree with the embedded result —
     // a mismatch means the journal was hand-edited or mis-assembled.
     if (entry.key.policy != entry.result.policy || entry.key.seed != entry.result.seed) {

@@ -43,7 +43,8 @@ struct Coverage {
 };
 
 /// Match journal rows to grid slots by JobKey.  Never throws on coverage
-/// problems — callers decide (status reports them, merge refuses).
+/// problems — callers decide (status reports them, merge refuses).  Pure
+/// function of its arguments (no I/O); safe to call concurrently.
 [[nodiscard]] Coverage cover_grid(const std::vector<scenario::BatchJob>& jobs,
                                   const std::vector<JournalEntry>& entries);
 

@@ -1,6 +1,7 @@
 #include "distrib/shard.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "expctl/runs_io.hpp"
 #include "expctl/spec_io.hpp"
@@ -88,7 +89,20 @@ double estimate_job_cost(const sc::BatchJob& job) {
 std::vector<std::vector<std::size_t>> plan_shards(const std::vector<sc::BatchJob>& jobs,
                                                   std::size_t shard_count,
                                                   ShardStrategy strategy) {
+  std::vector<double> costs(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) costs[i] = estimate_job_cost(jobs[i]);
+  return plan_shards(jobs, shard_count, strategy, costs);
+}
+
+std::vector<std::vector<std::size_t>> plan_shards(const std::vector<sc::BatchJob>& jobs,
+                                                  std::size_t shard_count,
+                                                  ShardStrategy strategy,
+                                                  const std::vector<double>& costs) {
   if (shard_count == 0) throw DistribError("shard count must be at least 1");
+  if (costs.size() != jobs.size()) {
+    throw DistribError("cost vector has " + std::to_string(costs.size()) +
+                       " entries for a " + std::to_string(jobs.size()) + "-job grid");
+  }
   std::vector<std::vector<std::size_t>> shards(shard_count);
   const std::size_t n = jobs.size();
   switch (strategy) {
@@ -111,8 +125,6 @@ std::vector<std::vector<std::size_t>> plan_shards(const std::vector<sc::BatchJob
     case ShardStrategy::Balanced: {
       std::vector<std::size_t> order(n);
       for (std::size_t i = 0; i < n; ++i) order[i] = i;
-      std::vector<double> costs(n);
-      for (std::size_t i = 0; i < n; ++i) costs[i] = estimate_job_cost(jobs[i]);
       std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
         return costs[a] > costs[b];  // cost desc; stable keeps index asc on ties
       });
@@ -130,6 +142,33 @@ std::vector<std::vector<std::size_t>> plan_shards(const std::vector<sc::BatchJob
     }
   }
   return shards;
+}
+
+std::vector<double> shard_costs(const std::vector<std::vector<std::size_t>>& plan,
+                                const std::vector<double>& costs) {
+  std::vector<double> totals(plan.size(), 0.0);
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    for (const std::size_t i : plan[s]) {
+      if (i >= costs.size()) {
+        throw DistribError("plan index " + std::to_string(i) + " out of range for a " +
+                           std::to_string(costs.size()) + "-entry cost vector");
+      }
+      totals[s] += costs[i];
+    }
+  }
+  return totals;
+}
+
+double cost_spread(const std::vector<double>& shard_totals) {
+  if (shard_totals.empty()) return 1.0;
+  double min = shard_totals.front();
+  double max = shard_totals.front();
+  for (const double c : shard_totals) {
+    min = std::min(min, c);
+    max = std::max(max, c);
+  }
+  if (min <= 0.0) return std::numeric_limits<double>::infinity();
+  return max / min;
 }
 
 // --- manifests -----------------------------------------------------------------

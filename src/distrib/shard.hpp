@@ -82,9 +82,28 @@ enum class ShardStrategy {
 /// Balanced uses deterministic LPT: jobs sorted by (cost desc, index asc)
 /// go to the currently lightest shard (ties to the lowest shard id).
 /// Shards may be empty when shard_count > jobs.size().
+/// Uses estimate_job_cost() for Balanced; free of I/O and thread-safe.
 [[nodiscard]] std::vector<std::vector<std::size_t>> plan_shards(
     const std::vector<scenario::BatchJob>& jobs, std::size_t shard_count,
     ShardStrategy strategy);
+
+/// Same split, but Balanced weighs jobs by the caller's `costs` vector
+/// (e.g. CostModel::price() over prior-run journals) instead of the
+/// static heuristic.  `costs` must parallel `jobs` (DistribError
+/// otherwise); Contiguous/Strided ignore it by construction.
+[[nodiscard]] std::vector<std::vector<std::size_t>> plan_shards(
+    const std::vector<scenario::BatchJob>& jobs, std::size_t shard_count,
+    ShardStrategy strategy, const std::vector<double>& costs);
+
+/// Total cost of each planned shard under `costs` — the planner report's
+/// raw material.  Indices out of `costs`' range are a DistribError.
+[[nodiscard]] std::vector<double> shard_costs(
+    const std::vector<std::vector<std::size_t>>& plan, const std::vector<double>& costs);
+
+/// max/min of per-shard totals — the balance figure of merit (1.0 is a
+/// perfect split).  Empty or zero-cost shards make the spread infinite;
+/// a plan with no shards reports 1.0.
+[[nodiscard]] double cost_spread(const std::vector<double>& shard_totals);
 
 // --- manifests -----------------------------------------------------------------
 

@@ -64,13 +64,15 @@ ShardRunOutcome run_shard(const std::vector<sc::BatchJob>& grid,
   sc::BatchRunner runner(threads);
   // The callback runs under BatchRunner's completion mutex, so appends
   // never interleave.
-  static_cast<void>(runner.run(to_run, [&](std::size_t j, const sc::RunResult& result) {
-    JournalEntry entry;
-    entry.index = run_indices[j];
-    entry.key = grid_keys[run_indices[j]];
-    entry.result = result;
-    writer.append(entry);
-  }));
+  static_cast<void>(
+      runner.run(to_run, [&](std::size_t j, const sc::RunResult& result, double wall_ms) {
+        JournalEntry entry;
+        entry.index = run_indices[j];
+        entry.key = grid_keys[run_indices[j]];
+        entry.result = result;
+        entry.wall_ms = wall_ms;
+        writer.append(entry);
+      }));
   outcome.trace_hits = runner.last_trace_hits();
   outcome.trace_misses = runner.last_trace_misses();
   return outcome;

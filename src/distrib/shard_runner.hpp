@@ -20,6 +20,8 @@
 
 namespace drowsy::distrib {
 
+/// What one run_shard() invocation did (counts, not results — the
+/// results live in the journal).
 struct ShardRunOutcome {
   std::size_t shard_jobs = 0;  ///< jobs assigned to this shard
   std::size_t resumed = 0;     ///< already journaled; skipped
@@ -34,7 +36,13 @@ struct ShardRunOutcome {
 /// anything else means the journal belongs to different work, and running
 /// on top of it would manufacture a merge failure later.  `threads` = 0
 /// picks hardware concurrency.  Throws DistribError on journal problems;
-/// run exceptions propagate from BatchRunner.
+/// run exceptions propagate from BatchRunner.  Each journaled row carries
+/// the run's measured wall-clock (`wall_ms`) for cost-model feedback.
+///
+/// Process-safety: at most one run_shard() may own `journal_path` at a
+/// time (it truncates and appends); the queue daemon's rename-based
+/// claiming provides that exclusivity across machines.  Within the call,
+/// worker threads append under BatchRunner's completion mutex.
 [[nodiscard]] ShardRunOutcome run_shard(const std::vector<scenario::BatchJob>& grid,
                                         const ShardManifest& manifest,
                                         const std::string& journal_path,

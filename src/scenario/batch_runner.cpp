@@ -1,6 +1,7 @@
 #include "scenario/batch_runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -58,10 +59,14 @@ std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
   util::parallel_for(pool_, jobs.size(), [&](std::size_t i) {
     const BatchJob& job = jobs[i];
     const std::uint64_t seed = job.seed != 0 ? job.seed : job.spec.seed;
+    const auto start = std::chrono::steady_clock::now();
     results[i] = run_one(job.spec, job.policy, seed, &trace_cache);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
     if (on_complete) {
       const std::lock_guard<std::mutex> lock(complete_mutex);
-      on_complete(i, results[i]);
+      on_complete(i, results[i], wall_ms);
     }
   });
   last_trace_hits_ = trace_cache.hits();

@@ -39,12 +39,16 @@ class BatchRunner {
   /// `threads` = worker count; 0 picks hardware concurrency.
   explicit BatchRunner(std::size_t threads = 0);
 
-  /// Observer for finished runs: (job index, result).  Invoked from worker
-  /// threads in *completion* order (not job order), serialized under an
-  /// internal mutex so implementations may write to shared sinks (e.g. a
-  /// run journal) without their own locking.  Exceptions thrown by the
-  /// callback abort the batch like a failing run.
-  using CompletionCallback = std::function<void(std::size_t, const RunResult&)>;
+  /// Observer for finished runs: (job index, result, wall-clock ms the run
+  /// took on its worker thread).  Invoked from worker threads in
+  /// *completion* order (not job order), serialized under an internal
+  /// mutex so implementations may write to shared sinks (e.g. a run
+  /// journal) without their own locking.  The duration covers run_one()
+  /// only — trace-cache waits included, callback time excluded — which is
+  /// what a cost model wants: the price of executing this job again.
+  /// Exceptions thrown by the callback abort the batch like a failing run.
+  using CompletionCallback =
+      std::function<void(std::size_t, const RunResult&, double wall_ms)>;
 
   /// Execute every job; results arrive in job order regardless of the
   /// execution schedule.  The first exception thrown by a run (e.g. an

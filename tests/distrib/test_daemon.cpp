@@ -1,0 +1,184 @@
+// Queue-daemon contract, over the real CI smoke sweep: concurrent
+// daemons must partition the queue exactly (rename-claiming), drain it
+// into done/ journals whose merge is byte-identical to a single-process
+// run, quarantine broken tasks in failed/, resume their own crashed
+// claims, and honor the STOP sentinel.
+#include "distrib/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distrib/merge.hpp"
+#include "expctl/runs_io.hpp"
+#include "expctl/spec_io.hpp"
+#include "scenario/registry.hpp"
+
+namespace dt = drowsy::distrib;
+namespace ec = drowsy::expctl;
+namespace fs = std::filesystem;
+namespace sc = drowsy::scenario;
+
+namespace {
+
+struct DaemonFixture : ::testing::Test {
+  static const std::string& sweep_bytes() {
+    static const std::string bytes =
+        ec::read_file(std::string(DROWSY_SOURCE_DIR) + "/sweeps/ci_smoke.json");
+    return bytes;
+  }
+
+  static std::vector<sc::BatchJob>& grid() {
+    static std::vector<sc::BatchJob> jobs = [] {
+      const ec::SweepSpec sweep = ec::sweep_from_json(ec::Json::parse(sweep_bytes()),
+                                                      sc::ScenarioRegistry::builtin());
+      return ec::expand(sweep);
+    }();
+    return jobs;
+  }
+
+  static std::vector<sc::RunResult>& reference() {
+    static std::vector<sc::RunResult> results = [] {
+      sc::BatchRunner runner(2);
+      return runner.run(grid());
+    }();
+    return results;
+  }
+
+  /// Fresh queue root with the sweep file enqueued beside the manifests.
+  static fs::path make_queue(const char* tag, std::size_t shard_count) {
+    const fs::path root = fs::path(::testing::TempDir()) / (std::string("drowsy_q_") + tag);
+    fs::remove_all(root);
+    fs::create_directories(root);
+    ASSERT_TRUE_OR_THROW(sc::write_file((root / "ci_smoke.json").string(), sweep_bytes()));
+    const auto plan = dt::plan_shards(grid(), shard_count, dt::ShardStrategy::Balanced);
+    for (std::size_t s = 0; s < plan.size(); ++s) {
+      dt::ShardManifest m;
+      m.sweep_name = "ci-smoke";
+      m.sweep_file = "ci_smoke.json";  // resolved by basename in the queue root
+      m.sweep_hash = ec::fnv1a64(sweep_bytes());
+      m.shard_index = s;
+      m.shard_count = shard_count;
+      m.total_jobs = grid().size();
+      m.job_indices = plan[s];
+      const fs::path path = root / ("shard_" + std::to_string(s) + ".json");
+      ASSERT_TRUE_OR_THROW(sc::write_file(path.string(), dt::to_json(m).dump()));
+    }
+    return root;
+  }
+
+  static dt::DaemonOptions options(const fs::path& root, const std::string& worker) {
+    dt::DaemonOptions opts;
+    opts.queue_dir = root.string();
+    opts.worker_id = worker;
+    opts.threads = 2;
+    opts.max_idle_s = 1.0;
+    opts.poll_ms = 25;
+    return opts;
+  }
+
+  /// gtest's ASSERT_* macros cannot run in non-void helpers.
+  static void ASSERT_TRUE_OR_THROW(bool ok) {
+    if (!ok) throw std::runtime_error("fixture setup failed");
+  }
+};
+
+}  // namespace
+
+TEST_F(DaemonFixture, TwoDaemonsDrainASharedQueueByteIdentically) {
+  const fs::path root = make_queue("pair", 3);
+
+  dt::DaemonOutcome first;
+  dt::DaemonOutcome second;
+  std::thread w1([&] { first = dt::run_daemon(options(root, "w1")); });
+  std::thread w2([&] { second = dt::run_daemon(options(root, "w2")); });
+  w1.join();
+  w2.join();
+
+  // Every task done exactly once, none failed, queue root drained.
+  EXPECT_EQ(first.completed + second.completed, 3u);
+  EXPECT_EQ(first.failed + second.failed, 0u);
+  EXPECT_EQ(first.exit, dt::DaemonExit::Idle);
+  EXPECT_EQ(second.exit, dt::DaemonExit::Idle);
+  for (std::size_t s = 0; s < 3; ++s) {
+    const std::string name = "shard_" + std::to_string(s);
+    EXPECT_FALSE(fs::exists(root / (name + ".json")));
+    EXPECT_TRUE(fs::exists(root / "done" / (name + ".json")));
+    EXPECT_TRUE(fs::exists(root / "done" / (name + ".journal.jsonl")));
+  }
+
+  // The merged journals reproduce the single-process batch bit for bit,
+  // and every daemon-written row carries a measured duration.
+  std::vector<dt::JournalEntry> entries;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const dt::JournalContents contents = dt::read_journal(
+        (root / "done" / ("shard_" + std::to_string(s) + ".journal.jsonl")).string());
+    for (const dt::JournalEntry& entry : contents.entries) {
+      EXPECT_TRUE(entry.has_wall_ms());
+    }
+    entries.insert(entries.end(), contents.entries.begin(), contents.entries.end());
+  }
+  const auto merged = dt::merge_journals(grid(), entries);
+  EXPECT_EQ(sc::to_csv(merged), sc::to_csv(reference()));
+}
+
+TEST_F(DaemonFixture, StopSentinelExitsWithoutClaiming) {
+  const fs::path root = make_queue("stop", 1);
+  ASSERT_TRUE(sc::write_file((root / "STOP").string(), ""));
+
+  dt::DaemonOptions opts = options(root, "w1");
+  opts.max_idle_s = 30.0;  // STOP must fire long before idleness would
+  const dt::DaemonOutcome outcome = dt::run_daemon(opts);
+  EXPECT_EQ(outcome.exit, dt::DaemonExit::Stopped);
+  EXPECT_EQ(outcome.completed, 0u);
+  EXPECT_TRUE(fs::exists(root / "shard_0.json")) << "task must stay pending";
+}
+
+TEST_F(DaemonFixture, BrokenTaskIsQuarantinedAndServiceContinues) {
+  const fs::path root = make_queue("broken", 2);
+  // Corrupt shard_0: a hash mismatch (planned against different sweep
+  // bytes) is exactly the drift validate_manifest must refuse.
+  dt::ShardManifest bad = dt::manifest_from_json(
+      ec::Json::parse(ec::read_file((root / "shard_0.json").string())));
+  bad.sweep_hash = ec::fnv1a64("not the sweep");
+  ASSERT_TRUE(sc::write_file((root / "shard_0.json").string(), dt::to_json(bad).dump()));
+
+  const dt::DaemonOutcome outcome = dt::run_daemon(options(root, "w1"));
+  EXPECT_EQ(outcome.completed, 1u);
+  EXPECT_EQ(outcome.failed, 1u);
+  EXPECT_TRUE(fs::exists(root / "failed" / "shard_0.json"));
+  EXPECT_TRUE(fs::exists(root / "failed" / "shard_0.error.txt"));
+  EXPECT_TRUE(fs::exists(root / "done" / "shard_1.journal.jsonl"));
+}
+
+TEST_F(DaemonFixture, RestartResumesOwnClaimedTasks) {
+  const fs::path root = make_queue("resume", 1);
+  // Simulate a daemon that died right after claiming: the manifest sits
+  // in claimed/w1/ and the queue root has no pending copy.
+  const fs::path claimed = root / "claimed" / "w1";
+  fs::create_directories(claimed);
+  fs::rename(root / "shard_0.json", claimed / "shard_0.json");
+
+  const dt::DaemonOutcome outcome = dt::run_daemon(options(root, "w1"));
+  EXPECT_EQ(outcome.completed, 1u);
+  EXPECT_TRUE(fs::exists(root / "done" / "shard_0.json"));
+  EXPECT_TRUE(fs::exists(root / "done" / "shard_0.journal.jsonl"));
+  EXPECT_TRUE(fs::is_empty(claimed));
+}
+
+TEST_F(DaemonFixture, UnusableQueueThrows) {
+  dt::DaemonOptions opts;
+  opts.queue_dir = (fs::path(::testing::TempDir()) / "drowsy_q_nonexistent").string();
+  opts.worker_id = "w1";
+  EXPECT_THROW(static_cast<void>(dt::run_daemon(opts)), dt::DistribError);
+
+  const fs::path root = make_queue("badworker", 1);
+  dt::DaemonOptions bad_worker = options(root, "a/b");
+  EXPECT_THROW(static_cast<void>(dt::run_daemon(bad_worker)), dt::DistribError);
+  dt::DaemonOptions empty_worker = options(root, "");
+  EXPECT_THROW(static_cast<void>(dt::run_daemon(empty_worker)), dt::DistribError);
+}

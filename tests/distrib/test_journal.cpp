@@ -62,6 +62,49 @@ TEST(Journal, EntryRoundTrip) {
   EXPECT_EQ(dt::to_json(back).dump(), j.dump());
 }
 
+TEST(Journal, WallMsRoundTripsAndOldSchemaRowsParse) {
+  dt::JournalEntry e = entry(3, 9);
+  e.wall_ms = 123.5;
+  ASSERT_TRUE(e.has_wall_ms());
+  const ec::Json j = dt::to_json(e);
+  const dt::JournalEntry back = dt::journal_entry_from_json(j);
+  EXPECT_TRUE(back.has_wall_ms());
+  EXPECT_EQ(back.wall_ms, 123.5);
+
+  // An old-schema row (written before wall_ms existed) parses, reports
+  // itself unmeasured, and re-serializes to its original bytes.
+  const ec::Json old = dt::to_json(entry(3, 9));
+  EXPECT_EQ(old.find("wall_ms"), nullptr);
+  const dt::JournalEntry old_back = dt::journal_entry_from_json(old);
+  EXPECT_FALSE(old_back.has_wall_ms());
+  EXPECT_EQ(dt::to_json(old_back).dump(), old.dump());
+}
+
+TEST(Journal, NegativeWallMsIsRejected) {
+  ec::Json j = dt::to_json(entry(1, 42));
+  j.set("wall_ms", -5.0);
+  EXPECT_THROW(static_cast<void>(dt::journal_entry_from_json(j)), dt::DistribError);
+}
+
+TEST(Journal, MixedSchemaFileReadsCleanly) {
+  // A journal part-written by an old binary and finished by a new one:
+  // both row shapes coexist in one file.
+  const std::string path = temp_path("mixed_schema.jsonl");
+  std::remove(path.c_str());
+  {
+    dt::JournalWriter writer(path, 0);
+    writer.append(entry(0, 1));  // unmeasured (old schema)
+    dt::JournalEntry measured = entry(1, 2);
+    measured.wall_ms = 42.0;
+    writer.append(measured);
+  }
+  const dt::JournalContents contents = dt::read_journal(path);
+  ASSERT_EQ(contents.entries.size(), 2u);
+  EXPECT_FALSE(contents.entries[0].has_wall_ms());
+  EXPECT_TRUE(contents.entries[1].has_wall_ms());
+  EXPECT_EQ(contents.entries[1].wall_ms, 42.0);
+}
+
 TEST(Journal, EntryParseRejectsInconsistentKey) {
   ec::Json j = dt::to_json(entry(1, 42));
   j.set("seed", std::uint64_t{43});  // key no longer matches embedded result

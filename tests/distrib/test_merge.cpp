@@ -135,6 +135,38 @@ TEST_F(SmokeFixture, ResumeAfterTruncatedJournalConvergesByteIdentically) {
   EXPECT_EQ(sc::to_csv(merged), sc::to_csv(reference()));
 }
 
+TEST_F(SmokeFixture, MixedSchemaJournalResumesAndMergesByteIdentically) {
+  // A journal started by a pre-wall_ms binary and finished by this one:
+  // the old rows must count as completed work on resume, the new rows
+  // carry measurements, and the merge must not care either way.
+  const auto plan = dt::plan_shards(grid(), 1, dt::ShardStrategy::Contiguous);
+  const dt::ShardManifest manifest = manifest_for(plan[0], 0, 1);
+  const std::string path = temp_journal("mixed_schema.jsonl");
+  const auto keys = dt::job_keys(grid());
+  {
+    dt::JournalWriter writer(path, 0);
+    for (std::size_t i = 0; i < 5; ++i) {
+      dt::JournalEntry old_row;  // wall_ms unset: the old row shape
+      old_row.index = i;
+      old_row.key = keys[i];
+      old_row.result = reference()[i];
+      writer.append(old_row);
+    }
+  }
+
+  const dt::ShardRunOutcome outcome = dt::run_shard(grid(), manifest, path, 2);
+  EXPECT_EQ(outcome.resumed, 5u);
+  EXPECT_EQ(outcome.executed, grid().size() - 5);
+
+  const dt::JournalContents resumed = dt::read_journal(path);
+  ASSERT_EQ(resumed.entries.size(), grid().size());
+  for (std::size_t i = 0; i < resumed.entries.size(); ++i) {
+    EXPECT_EQ(resumed.entries[i].has_wall_ms(), i >= 5) << "row " << i;
+  }
+  const auto merged = dt::merge_journals(grid(), resumed.entries);
+  EXPECT_EQ(sc::to_csv(merged), sc::to_csv(reference()));
+}
+
 TEST_F(SmokeFixture, ResumeAccountsDuplicateJobKeysPerSlot) {
   // A grid may hold the same (spec, policy, seed) in two slots (a sweep
   // listing one scenario twice).  Resume must count journal rows per

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "expctl/runs_io.hpp"
@@ -93,6 +94,46 @@ TEST(Shard, BalancedEvensOutEstimatedCost) {
   }
   // Determinism: planning twice yields the identical layout.
   EXPECT_EQ(dt::plan_shards(jobs, 3, dt::ShardStrategy::Balanced), plan);
+}
+
+TEST(Shard, CallerCostsDriveBalancedPlanning) {
+  const auto jobs = uneven_grid(12);
+  // Invert the static ordering: the "small" jobs are the expensive ones.
+  std::vector<double> costs(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    costs[i] = 1.0 + dt::estimate_job_cost(jobs[jobs.size() - 1 - i]);
+  }
+  const auto plan = dt::plan_shards(jobs, 3, dt::ShardStrategy::Balanced, costs);
+  expect_partition(plan, jobs.size());
+
+  const std::vector<double> totals = dt::shard_costs(plan, costs);
+  double total = 0.0;
+  for (const double c : totals) total += c;
+  for (const double c : totals) {
+    EXPECT_GT(c, 0.6 * total / 3.0);
+    EXPECT_LT(c, 1.4 * total / 3.0);
+  }
+  // The caller's costs, not the heuristic, must shape the layout.
+  EXPECT_NE(plan, dt::plan_shards(jobs, 3, dt::ShardStrategy::Balanced));
+
+  const std::vector<double> wrong_size(jobs.size() - 1, 1.0);
+  EXPECT_THROW(
+      static_cast<void>(dt::plan_shards(jobs, 3, dt::ShardStrategy::Balanced, wrong_size)),
+      dt::DistribError);
+}
+
+TEST(Shard, ShardCostsAndSpread) {
+  EXPECT_DOUBLE_EQ(dt::cost_spread({2.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(dt::cost_spread({5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(dt::cost_spread({}), 1.0);
+  EXPECT_TRUE(std::isinf(dt::cost_spread({1.0, 0.0})));
+
+  const std::vector<std::vector<std::size_t>> plan = {{0, 2}, {1}};
+  const std::vector<double> totals = dt::shard_costs(plan, {1.0, 10.0, 100.0});
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_DOUBLE_EQ(totals[0], 101.0);
+  EXPECT_DOUBLE_EQ(totals[1], 10.0);
+  EXPECT_THROW(static_cast<void>(dt::shard_costs({{3}}, {1.0, 2.0})), dt::DistribError);
 }
 
 TEST(Shard, JobKeysMatchPerJobHashing) {

@@ -38,17 +38,30 @@
 //       canonical job order, and emit the same tables/artifacts as `run`
 //       — byte-identical to a single-process execution of the sweep.
 //   drowsy_sweep shard status <sweep.json> --journal F [--journal F ...]
-//       Coverage report: completed/missing/duplicate/foreign counts.
+//       Coverage report: completed/missing/duplicate/foreign counts plus
+//       per-journal measured wall-clock totals.
+//   drowsy_sweep shard daemon <queue-dir> [--worker-id W] [--threads N]
+//                    [--poll-ms P] [--max-idle-s S]
+//       Long-running worker: claim manifests from the queue directory
+//       (atomic rename; safe with many daemons on a shared filesystem),
+//       execute each through the crash-safe journal path, archive to
+//       done/ or failed/, and poll until a STOP sentinel or idleness.
+//
+// Full reference (flags, file formats, exit codes): docs/drowsy_sweep.md.
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "distrib/cost_model.hpp"
+#include "distrib/daemon.hpp"
 #include "distrib/merge.hpp"
 #include "distrib/shard.hpp"
 #include "distrib/shard_runner.hpp"
@@ -64,20 +77,28 @@ namespace sc = drowsy::scenario;
 
 namespace {
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s run <sweep.json> [--threads N] [--alpha A] [--csv F]"
                " [--runs-csv F] [--json F] [--verdicts-csv F] [--bench-json F]\n"
                "       %s validate <sweep.json>\n"
                "       %s list\n"
                "       %s dump [<scenario>...]\n"
-               "       %s shard plan <sweep.json> --shards N [--strategy S] [--out-dir D]\n"
+               "       %s shard plan <sweep.json> --shards N [--strategy S] [--out-dir D]"
+               " [--costs JOURNAL ...]\n"
                "       %s shard run <manifest.json> [--sweep PATH] [--threads N]"
                " [--journal F]\n"
                "       %s shard merge <sweep.json> --journal F... [--alpha A] [--csv F]"
                " [--runs-csv F] [--json F] [--verdicts-csv F]\n"
-               "       %s shard status <sweep.json> --journal F...\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               "       %s shard status <sweep.json> --journal F...\n"
+               "       %s shard daemon <queue-dir> [--worker-id W] [--threads N]"
+               " [--poll-ms P] [--max-idle-s S]\n"
+               "see docs/drowsy_sweep.md for the full reference\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+}
+
+int usage(const char* argv0) {
+  print_usage(stderr, argv0);
   return 2;
 }
 
@@ -260,6 +281,7 @@ int cmd_shard_plan(int argc, char** argv) {
   std::string out_dir = ".";
   std::size_t shards = 0;
   dt::ShardStrategy strategy = dt::ShardStrategy::Balanced;
+  std::vector<std::string> cost_journals;
   for (int i = 3; i < argc; ++i) {
     const auto value = [&](const char* flag) { return flag_value(argc, argv, i, flag); };
     if (std::strcmp(argv[i], "--shards") == 0) {
@@ -273,6 +295,8 @@ int cmd_shard_plan(int argc, char** argv) {
       strategy = dt::shard_strategy_from_string(value("--strategy"));
     } else if (std::strcmp(argv[i], "--out-dir") == 0) {
       out_dir = value("--out-dir");
+    } else if (std::strcmp(argv[i], "--costs") == 0) {
+      cost_journals.push_back(value("--costs"));
     } else if (sweep_path.empty() && argv[i][0] != '-') {
       sweep_path = argv[i];
     } else {
@@ -283,7 +307,29 @@ int cmd_shard_plan(int argc, char** argv) {
 
   const LoadedSweep loaded = load_sweep(sweep_path);
   const auto jobs = ec::expand(loaded.sweep);
-  const auto plan = dt::plan_shards(jobs, shards, strategy);
+
+  // Static heuristic costs are always computed: without --costs they
+  // drive the plan; with --costs they anchor the predicted-vs-measured
+  // balance report.
+  std::vector<double> static_costs(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    static_costs[i] = dt::estimate_job_cost(jobs[i]);
+  }
+
+  dt::CostModel::JobCosts priced;
+  const bool use_measured = !cost_journals.empty();
+  if (use_measured) {
+    dt::CostModel model;
+    for (const std::string& path : cost_journals) {
+      model.add_journal(dt::read_journal(path).entries);
+    }
+    priced = model.price(jobs);
+    std::printf("cost model: %zu journal(s) -> %zu exact, %zu scenario-level,"
+                " %zu heuristic job price(s)\n",
+                cost_journals.size(), priced.measured, priced.scenario, priced.heuristic);
+  }
+  const std::vector<double>& plan_costs = use_measured ? priced.cost : static_costs;
+  const auto plan = dt::plan_shards(jobs, shards, strategy, plan_costs);
 
   if (mkdir(out_dir.c_str(), 0777) != 0 && errno != EEXIST) {
     std::fprintf(stderr, "cannot create %s\n", out_dir.c_str());
@@ -293,6 +339,8 @@ int cmd_shard_plan(int argc, char** argv) {
   std::printf("== %s: %zu jobs -> %zu shard(s), %s ==\n", loaded.sweep.name.c_str(),
               jobs.size(), shards, dt::to_string(strategy));
   bool ok = true;
+  const std::vector<double> planned_totals = dt::shard_costs(plan, plan_costs);
+  const std::vector<double> static_totals = dt::shard_costs(plan, static_costs);
   for (std::size_t s = 0; s < plan.size(); ++s) {
     dt::ShardManifest manifest;
     manifest.sweep_name = loaded.sweep.name;
@@ -304,12 +352,26 @@ int cmd_shard_plan(int argc, char** argv) {
     manifest.total_jobs = jobs.size();
     manifest.job_indices = plan[s];
 
-    double cost = 0.0;
-    for (const std::size_t i : plan[s]) cost += dt::estimate_job_cost(jobs[i]);
     const std::string path = out_dir + "/shard_" + std::to_string(s) + ".json";
     ok &= sc::write_file(path, dt::to_json(manifest).dump());
-    std::printf("  %-28s %4zu job(s)  est. cost %10.0f\n", path.c_str(), plan[s].size(),
-                cost);
+    if (use_measured) {
+      std::printf("  %-28s %4zu job(s)  est. %10.0f ms  (static %10.0f)\n", path.c_str(),
+                  plan[s].size(), planned_totals[s], static_totals[s]);
+    } else {
+      std::printf("  %-28s %4zu job(s)  est. cost %10.0f\n", path.c_str(), plan[s].size(),
+                  planned_totals[s]);
+    }
+  }
+  if (use_measured) {
+    // Would the old plan have balanced as well?  Evaluate both layouts
+    // under the measured model: the static-heuristic plan re-priced with
+    // measured costs is what the fleet would actually have experienced.
+    const auto static_plan = dt::plan_shards(jobs, shards, strategy, static_costs);
+    std::printf("predicted balance (max/min shard cost, measured model):\n"
+                "  measured-cost plan    %.3f\n"
+                "  static-heuristic plan %.3f\n",
+                dt::cost_spread(planned_totals),
+                dt::cost_spread(dt::shard_costs(static_plan, priced.cost)));
   }
   return ok ? 0 : 1;
 }
@@ -379,7 +441,13 @@ int parse_journal_set(int argc, char** argv, JournalSetOptions& opts, bool allow
   return 0;
 }
 
-std::vector<dt::JournalEntry> read_journal_set(const std::vector<std::string>& paths) {
+/// Read and concatenate journals; `per_journal` (optional) observes each
+/// one as it is read — the hook `shard status` prints its per-journal
+/// wall totals from.
+std::vector<dt::JournalEntry> read_journal_set(
+    const std::vector<std::string>& paths,
+    const std::function<void(const std::string&, const dt::JournalContents&)>&
+        per_journal = {}) {
   std::vector<dt::JournalEntry> entries;
   for (const std::string& path : paths) {
     const dt::JournalContents contents = dt::read_journal(path);
@@ -387,6 +455,7 @@ std::vector<dt::JournalEntry> read_journal_set(const std::vector<std::string>& p
       std::fprintf(stderr, "note: %s has a torn final row (crashed shard?); ignored\n",
                    path.c_str());
     }
+    if (per_journal) per_journal(path, contents);
     entries.insert(entries.end(), contents.entries.begin(), contents.entries.end());
   }
   return entries;
@@ -413,7 +482,25 @@ int cmd_shard_status(int argc, char** argv) {
   }
   const LoadedSweep loaded = load_sweep(opts.sweep_path);
   const auto jobs = ec::expand(loaded.sweep);
-  const auto entries = read_journal_set(opts.journals);
+  // Per-journal accounting: progress in wall-clock terms, not just row
+  // counts — a shard with 3 of 4 rows done may still own most of the
+  // remaining work.
+  const auto entries = read_journal_set(
+      opts.journals, [](const std::string& path, const dt::JournalContents& contents) {
+        double wall_ms = 0.0;
+        std::size_t unmeasured = 0;
+        for (const dt::JournalEntry& entry : contents.entries) {
+          if (entry.has_wall_ms()) {
+            wall_ms += entry.wall_ms;
+          } else {
+            ++unmeasured;
+          }
+        }
+        std::printf("  %-40s %4zu row(s)  wall %10.0f ms", path.c_str(),
+                    contents.entries.size(), wall_ms);
+        if (unmeasured > 0) std::printf("  (%zu unmeasured)", unmeasured);
+        std::printf("\n");
+      });
   const dt::Coverage cov = dt::cover_grid(jobs, entries);
   std::printf("%s: %zu/%zu run(s) complete\n", loaded.sweep.name.c_str(), cov.completed,
               cov.total);
@@ -432,6 +519,58 @@ int cmd_shard_status(int argc, char** argv) {
   return cov.complete() ? 0 : 3;  // distinct from hard errors (1) and usage (2)
 }
 
+int cmd_shard_daemon(int argc, char** argv) {
+  dt::DaemonOptions opts;
+  // The claiming protocol needs worker ids unique per live daemon; a
+  // bare pid collides across machines/containers sharing one queue.
+  char host[256] = "host";
+  static_cast<void>(gethostname(host, sizeof(host) - 1));
+  opts.worker_id = std::string(host) + "-" + std::to_string(static_cast<long>(getpid()));
+  for (int i = 3; i < argc; ++i) {
+    const auto value = [&](const char* flag) { return flag_value(argc, argv, i, flag); };
+    if (std::strcmp(argv[i], "--worker-id") == 0) {
+      opts.worker_id = value("--worker-id");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opts.threads = static_cast<std::size_t>(parse_threads(value("--threads")));
+    } else if (std::strcmp(argv[i], "--poll-ms") == 0) {
+      const long ms = std::atol(value("--poll-ms"));
+      if (ms <= 0) {
+        std::fprintf(stderr, "--poll-ms must be positive\n");
+        return 2;
+      }
+      opts.poll_ms = static_cast<unsigned>(ms);
+    } else if (std::strcmp(argv[i], "--max-idle-s") == 0) {
+      // strtod, not atof: a typo must be a usage error, not a silent 0.0
+      // (which means "wait for STOP forever").
+      const char* text = value("--max-idle-s");
+      char* end = nullptr;
+      opts.max_idle_s = std::strtod(text, &end);
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr, "--max-idle-s: \"%s\" is not a number\n", text);
+        return 2;
+      }
+    } else if (opts.queue_dir.empty() && argv[i][0] != '-') {
+      opts.queue_dir = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opts.queue_dir.empty()) return usage(argv[0]);
+
+  std::printf("== daemon %s serving %s (poll %u ms, max idle %.1f s) ==\n",
+              opts.worker_id.c_str(), opts.queue_dir.c_str(), opts.poll_ms,
+              opts.max_idle_s);
+  opts.on_event = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);  // daemons run backgrounded; lines must not sit in a buffer
+  };
+  const dt::DaemonOutcome outcome = dt::run_daemon(opts);
+  std::printf("daemon %s: %zu task(s) done, %zu failed (%s)\n", opts.worker_id.c_str(),
+              outcome.completed, outcome.failed,
+              outcome.exit == dt::DaemonExit::Stopped ? "stopped" : "idle");
+  return outcome.failed == 0 ? 0 : 1;
+}
+
 int cmd_shard(int argc, char** argv) {
   if (argc < 3) return usage(argv[0]);
   const std::string verb = argv[2];
@@ -439,6 +578,7 @@ int cmd_shard(int argc, char** argv) {
   if (verb == "run") return cmd_shard_run(argc, argv);
   if (verb == "merge") return cmd_shard_merge(argc, argv);
   if (verb == "status") return cmd_shard_status(argc, argv);
+  if (verb == "daemon") return cmd_shard_daemon(argc, argv);
   return usage(argv[0]);
 }
 
@@ -447,6 +587,10 @@ int cmd_shard(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_usage(stdout, argv[0]);
+    return 0;
+  }
   try {
     if (command == "list") {
       if (argc != 2) return usage(argv[0]);
