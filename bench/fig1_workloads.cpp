@@ -1,16 +1,20 @@
 // Figure 1 — "Examples of real workloads we used."
 //
-// The paper plots the hourly activity (%) of production LLMI VMs over six
-// days, highlighting that VM3 and VM4 received the exact same workload
-// and VM6 a distinct one.  This bench prints the reconstructed traces as
-// a table and an ASCII strip chart, plus the VM-class statistics.
+// A thin wrapper over the "fig1-workload-profiles" study (src/study):
+// the study owns the grid (one probe scenario per reconstructed VM, VM3
+// and VM4 sharing a workload) and the figure CSV; this driver adds the
+// human-facing ASCII strip chart, rendered from the very TraceSpecs the
+// study's grid declares.  Reproduce the CSV without compiling this file:
+//
+//   drowsy_sweep study run fig1-workload-profiles
 #include <cstdio>
 #include <string>
 
-#include "trace/generators.hpp"
+#include "study/study.hpp"
 #include "util/sim_time.hpp"
 
-namespace trace = drowsy::trace;
+namespace sc = drowsy::scenario;
+namespace st = drowsy::study;
 namespace util = drowsy::util;
 
 namespace {
@@ -27,45 +31,26 @@ char level_glyph(double activity) {
 
 int main() {
   std::printf("== Figure 1: examples of real (reconstructed) LLMI workloads ==\n");
-  std::printf("activity %% per hour over 6 days; V3 and V4 share a workload\n\n");
+  std::printf("activity %% per hour over 6 days; vm3 and vm4 share a workload\n\n");
 
-  const auto week = trace::nutanix_week();
-  // Paper naming: week[0] drives V3 and V4; week[1..4] drive V5..V8.
-  struct Row {
-    const char* label;
-    const trace::ActivityTrace* tr;
-  };
-  const Row rows[] = {
-      {"VM3", &week[0]}, {"VM4", &week[0]}, {"VM5", &week[1]},
-      {"VM6", &week[2]}, {"VM7", &week[3]}, {"VM8", &week[4]},
-  };
+  const st::Study& study = st::StudyRegistry::builtin().at("fig1-workload-profiles");
+  const drowsy::expctl::SweepSpec sweep = study.sweep(study.params);
 
   std::printf("strip chart (one column per hour, '.'=idle '#'=peak):\n");
-  for (const Row& row : rows) {
+  for (const sc::ScenarioSpec& spec : sweep.scenarios) {
+    const drowsy::trace::ActivityTrace tr =
+        sc::materialize(spec.vms.front().workload, /*fallback_seed=*/0);
     std::string line;
     for (std::size_t h = 0; h < 6 * util::kHoursPerDay; ++h) {
-      line += level_glyph(row.tr->at_hour(h));
+      line += level_glyph(tr.at_hour(h));
     }
-    std::printf("  %-4s %s\n", row.label, line.c_str());
+    std::printf("  %-10s %s\n", spec.name.c_str(), line.c_str());
   }
 
-  std::printf("\nhourly peak activity per day (percent):\n");
-  std::printf("  %-4s", "VM");
-  for (int d = 1; d <= 6; ++d) std::printf("   day%-2d", d);
-  std::printf("   class  idle%%\n");
-  for (const Row& row : rows) {
-    std::printf("  %-4s", row.label);
-    for (int d = 0; d < 6; ++d) {
-      double peak = 0.0;
-      for (int h = 0; h < util::kHoursPerDay; ++h) {
-        peak = std::max(peak, row.tr->at_hour(d * util::kHoursPerDay + h));
-      }
-      std::printf("  %5.1f ", 100.0 * peak);
-    }
-    std::printf("  %-5s  %5.1f\n", trace::to_string(row.tr->classify()),
-                100.0 * row.tr->idle_fraction());
-  }
+  std::printf("\nfigure CSV (idle fraction, daily peaks, pipeline-measured columns):\n");
+  const st::StudyOutcome outcome = st::run_study(study, study.params);
+  std::fwrite(outcome.csv.data(), 1, outcome.csv.size(), stdout);
 
-  std::printf("\npaper shape check: peaks land in the 5-25%% band, VM3==VM4, all LLMI\n");
+  std::printf("\npaper shape check: peaks land in the 5-25%% band, vm3==vm4, all LLMI\n");
   return 0;
 }

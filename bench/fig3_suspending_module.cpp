@@ -6,11 +6,23 @@
 // of the next working date); (2) overhead (resource consumption and
 // suspension time); and (3) scalability".  This bench reconstructs the
 // experiment along exactly those axes.
+//
+// Section (1b) — oscillation prevention — is a thin wrapper over the
+// "fig3-grace-ablation" study (src/study): the grace sweep runs through
+// the scenario/expctl pipeline and this driver prints the study's figure
+// CSV.  `--figure-csv F` writes exactly those bytes to F (CI diffs them
+// against `drowsy_sweep study run fig3-grace-ablation --out ...`).  The
+// remaining sections probe the module directly: they evaluate decisions
+// (detection verdicts, wake dates) and wall-clock cost, not simulated
+// outcomes, so they have no scenario-level counterpart.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "core/drowsy.hpp"
+#include "study/study.hpp"
 #include "trace/trace.hpp"
 
 namespace core = drowsy::core;
@@ -82,58 +94,26 @@ void effectiveness_detection() {
   std::printf("  detection accuracy: %d/%zu\n\n", correct, std::size(cases));
 }
 
-/// (1b) oscillation prevention: a periodic short job (every 90 s, 5 s of
-/// work) on a host whose idleness model says "more activity is coming"
-/// (low IP).  Without the grace time the host suspends between every two
-/// job runs; the IP-scaled grace (≈2 min for an active host) rides
-/// through the gaps — the paper's "oscillation effect of servers
-/// alternating between fully awake and suspended states".
-void effectiveness_oscillation() {
+/// (1b) oscillation prevention, via the fig3-grace-ablation study: faint
+/// staggered activity windows deliver requests with gaps inside the
+/// grace band.  Without the grace time the host re-suspends after every
+/// request and the next one wakes it again — the paper's "oscillation
+/// effect of servers alternating between fully awake and suspended
+/// states"; the IP-scaled grace rides through the gaps.  The grid sweeps
+/// the band's top with drowsy-dc (grace on) against neat+s3 (the paper's
+/// own "same algorithm, grace excepted" control).
+void effectiveness_oscillation(const char* figure_csv) {
   std::printf("-- (1b) effectiveness: oscillation prevention (grace time) --\n");
-  for (const bool grace : {false, true}) {
-    sim::EventQueue q;
-    sim::Cluster cluster(q);
-    net::SdnSwitch sdn(q);
-    auto& host = cluster.add_host(sim::HostSpec{"H", 8, 16384, 2});
-    auto& vm = cluster.add_vm(sim::VmSpec{"V", 2, 6144},
-                              trace::ActivityTrace(std::vector<double>(48, 0.0)));
-    cluster.place(vm.id(), host.id());
-    vm.add_scheduled_job(
-        q, "ticker", [](util::SimTime now) { return now + util::seconds(90); },
-        /*work_duration=*/util::seconds(5));
-
-    core::ModelBuilder models;
-    // The model learned sustained activity at these hours: low IP.
-    for (int h = 0; h < 14 * 24; ++h) {
-      models.model(vm.id()).observe_hour(util::calendar_of(h * util::kMsPerHour), 0.9);
-    }
-    core::SuspendConfig cfg;
-    cfg.use_grace_time = grace;
-    cfg.check_interval = util::seconds(10);
-    core::SuspendModule module(host, cluster, models, cfg);
-    core::WakingModule waking(cluster, sdn, {}, "waking");
-    waking.install_analyzer();
-    sdn.attach_port(host.mac(), [&host](const net::Packet& p) {
-      if (p.kind == net::PacketKind::WakeOnLan) host.begin_resume();
-    });
-    module.set_waking_module(&waking);
-    host.set_on_wake([&module] { module.on_host_wake(); });
-    module.start();
-    // Pump due guest timers while the host is awake (the controller's job
-    // in a full deployment).
-    std::function<void()> pump = [&] {
-      if (host.state() == sim::PowerState::S0) vm.guest().fire_due_timers(q.now());
-      q.schedule_after(util::seconds(5), pump);
-    };
-    q.schedule_at(0, pump);
-
-    q.run_until(util::hours(2.0));
-    std::printf(
-        "  grace %-3s  suspend cycles over 2 h: %4d   suspended %4.1f%%   grace band "
-        "5s-2min\n",
-        grace ? "on" : "off", host.suspend_count(), 100.0 * host.suspended_fraction(0));
+  const auto& study = drowsy::study::StudyRegistry::builtin().at("fig3-grace-ablation");
+  const drowsy::study::StudyOutcome outcome =
+      drowsy::study::run_study(study, study.params);
+  std::fwrite(outcome.csv.data(), 1, outcome.csv.size(), stdout);
+  std::printf("  (suspends collapse by an order of magnitude with grace on;\n"
+              "   reproduce: drowsy_sweep study run %s)\n\n", study.name.c_str());
+  if (figure_csv != nullptr &&
+      !drowsy::scenario::write_file(figure_csv, outcome.csv)) {
+    std::exit(1);
   }
-  std::printf("\n");
 }
 
 /// (1c) waking-date calculation: the earliest *relevant* timer wins.
@@ -200,11 +180,18 @@ void overhead_scalability() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* figure_csv = nullptr;
+  if (argc == 3 && std::strcmp(argv[1], "--figure-csv") == 0) {
+    figure_csv = argv[2];
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--figure-csv F]\n", argv[0]);
+    return 2;
+  }
   std::printf(
       "== Figure 3 [reconstructed]: suspending-module evaluation (see DESIGN.md) ==\n\n");
   effectiveness_detection();
-  effectiveness_oscillation();
+  effectiveness_oscillation(figure_csv);
   effectiveness_wake_date();
   overhead_scalability();
   return 0;

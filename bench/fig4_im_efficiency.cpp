@@ -1,82 +1,24 @@
 // Figure 4 + Tables II and III — "Idleness model efficiency: evaluation of
 // idleness modeling over 3 years."
 //
-// For each of the eight trace types (Table II), the model predicts each
-// hour *before* observing it; predictions feed sliding-window confusion
-// metrics (Table III) reported quarterly.  Paper anchors: F-measure above
-// 0.97 after a few weeks for the predictable traces, ≈0.82 for the comic
-// strips (which need ~2 years to learn the holiday months), and
-// specificity ≈1 for the always-active LLMU trace.
+// A thin wrapper over the "fig4-im-efficiency" study (src/study): the
+// study owns the Table II panel grid (one probe scenario per trace type)
+// and the quarterly confusion replay; this driver prints the legend and
+// the figure CSV.  Paper anchors: F-measure above 0.97 after a few weeks
+// for the predictable traces, ≈0.82 for the comic strips (which need
+// ~2 years to learn the holiday months), and specificity ≈1 for the
+// always-active LLMU trace.  Reproduce without compiling this file:
+//
+//   drowsy_sweep study run fig4-im-efficiency
 //
 //   --fixed-weights   ablation: keep the four time-scale weights uniform
+//                     (drowsy_sweep: --set learn_weights=0)
 #include <cstdio>
 #include <cstring>
-#include <vector>
 
-#include "core/idleness_model.hpp"
-#include "metrics/prediction.hpp"
-#include "trace/generators.hpp"
-#include "util/thread_pool.hpp"
+#include "study/study.hpp"
 
-namespace core = drowsy::core;
-namespace metrics = drowsy::metrics;
-namespace trace = drowsy::trace;
-namespace util = drowsy::util;
-
-namespace {
-
-struct Panel {
-  const char* id;
-  const char* description;
-  trace::ActivityTrace tr;
-  bool focus_specificity = false;  // subfig. h uses specificity
-};
-
-struct QuarterRow {
-  double recall, precision, f_measure, specificity;
-};
-
-std::vector<QuarterRow> evaluate(const trace::ActivityTrace& tr, bool learn_weights) {
-  core::IdlenessModelConfig cfg;
-  cfg.learn_weights = learn_weights;
-  core::IdlenessModel model(cfg);
-  metrics::WindowedConfusion window(30 * 24);  // 30-day sliding window
-  std::vector<QuarterRow> rows;
-  const std::size_t total = 3 * util::kHoursPerYear;
-  const std::size_t quarter = util::kHoursPerYear / 4;
-  for (std::size_t h = 0; h < total; ++h) {
-    const util::CalendarTime when =
-        util::calendar_of(static_cast<util::SimTime>(h) * util::kMsPerHour);
-    const bool predicted_idle = model.ip(when).predicts_idle();
-    const double activity = tr.at_hour(h) > 0.005 ? tr.at_hour(h) : 0.0;
-    const bool actually_idle = activity == 0.0;
-    window.add(predicted_idle, actually_idle);
-    model.observe_hour(when, activity);
-    if ((h + 1) % quarter == 0) {
-      const auto& c = window.counts();
-      rows.push_back({c.recall(), c.precision(), c.f_measure(), c.specificity()});
-    }
-  }
-  return rows;
-}
-
-void print_panel(const Panel& panel, const std::vector<QuarterRow>& rows) {
-  std::printf("(%s) %s%s\n", panel.id, panel.description,
-              panel.focus_specificity ? "  [focus: specificity]" : "  [focus: F-measure]");
-  std::printf("    quarter:   ");
-  for (std::size_t i = 0; i < rows.size(); ++i) std::printf(" Q%-4zu", i + 1);
-  std::printf("\n    recall     ");
-  for (const auto& r : rows) std::printf(" %.2f ", r.recall);
-  std::printf("\n    precision  ");
-  for (const auto& r : rows) std::printf(" %.2f ", r.precision);
-  std::printf("\n    F-measure  ");
-  for (const auto& r : rows) std::printf(" %.2f ", r.f_measure);
-  std::printf("\n    specificity");
-  for (const auto& r : rows) std::printf(" %.2f ", r.specificity);
-  std::printf("\n\n");
-}
-
-}  // namespace
+namespace st = drowsy::study;
 
 int main(int argc, char** argv) {
   const bool fixed_weights = argc > 1 && std::strcmp(argv[1], "--fixed-weights") == 0;
@@ -95,29 +37,13 @@ int main(int argc, char** argv) {
               fixed_weights ? " [ABLATION: fixed uniform weights]" : "");
   std::printf("   (30-day sliding window, sampled at the end of each quarter)\n\n");
 
-  trace::GenOptions o;
-  o.years = 3;
-  std::vector<Panel> panels;
-  panels.push_back({"a", "daily backup (once a day)", trace::daily_backup(o)});
-  panels.push_back(
-      {"b", "comic strips (3x/week, none in July/August)", trace::comic_strips(o)});
-  const auto week = trace::nutanix_week();
-  const char* ids[] = {"c", "d", "e", "f", "g"};
-  for (std::size_t v = 0; v < 5; ++v) {
-    panels.push_back({ids[v], "real production trace, extended to 3 years",
-                      week[v].extended_to(3 * util::kHoursPerYear)});
-  }
-  panels.push_back({"h", "long-lived mostly-used (always active)", trace::llmu_constant(o),
-                    /*focus_specificity=*/true});
+  const st::Study& study = st::StudyRegistry::builtin().at("fig4-im-efficiency");
+  st::StudyParams params = study.params;
+  if (fixed_weights) params.set("learn_weights", 0);
+  const st::StudyOutcome outcome = st::run_study(study, params);
+  std::fwrite(outcome.csv.data(), 1, outcome.csv.size(), stdout);
 
-  // Panels are independent: evaluate them across the pool.
-  std::vector<std::vector<QuarterRow>> results(panels.size());
-  util::parallel_for(util::default_pool(), panels.size(), [&](std::size_t i) {
-    results[i] = evaluate(panels[i].tr, !fixed_weights);
-  });
-  for (std::size_t i = 0; i < panels.size(); ++i) print_panel(panels[i], results[i]);
-
-  std::printf("paper anchors: F > 0.97 after a few weeks for (a, c-g); ~0.82 for (b)\n");
+  std::printf("\npaper anchors: F > 0.97 after a few weeks for (a, c-g); ~0.82 for (b)\n");
   std::printf("with a multi-year learning arc; specificity ~1 for (h)\n");
   return 0;
 }

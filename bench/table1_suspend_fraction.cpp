@@ -1,47 +1,32 @@
 // Table I — "Fraction of time (percent) spent by hosts in suspended power
 // state, with Drowsy-DC and with Neat."
 //
+// A thin wrapper over the "table1-suspend-fraction" study (src/study):
+// the study runs the paper-testbed scenario for 7 days under drowsy-dc
+// and neat+s3 through the sweep pipeline and derives the per-host
+// percentages from RunResult::host_suspend_fraction.  Reproduce without
+// compiling this file:
+//
+//   drowsy_sweep study run table1-suspend-fraction
+//
 // Paper row anchors: Drowsy-DC {0, 94, 79, 91 | global 66}, Neat
 // {89, 7, 8, 93 | global 49}; Drowsy-DC's suspension time is ≈35 % longer
 // in total.  The host that ends up with the two LLMU VMs never sleeps.
 #include <cstdio>
 
-#include "metrics/reports.hpp"
-#include "testbed.hpp"
+#include "study/study.hpp"
 
-namespace bench = drowsy::bench;
-namespace metrics = drowsy::metrics;
+namespace st = drowsy::study;
 
 int main() {
   std::printf(
       "== Table I: fraction of time hosts spent suspended (7 days, 4 pool hosts) ==\n\n");
 
-  std::vector<metrics::SuspendFractionRow> rows;
-  double drowsy_global = 0.0, neat_global = 0.0;
-  drowsy::sim::Cluster* table_cluster = nullptr;
-  std::unique_ptr<bench::Testbed> keeper;
+  const st::Study& study = st::StudyRegistry::builtin().at("table1-suspend-fraction");
+  const st::StudyOutcome outcome = st::run_study(study, study.params);
+  std::fwrite(outcome.csv.data(), 1, outcome.csv.size(), stdout);
 
-  for (const auto algorithm : {bench::Algorithm::DrowsyDc, bench::Algorithm::NeatSuspend}) {
-    auto tb = std::make_unique<bench::Testbed>(algorithm);
-    tb->run_days(7);
-    auto row = metrics::suspend_fractions(bench::to_string(algorithm), tb->cluster,
-                                          {0, 1, 2, 3}, 0);
-    if (algorithm == bench::Algorithm::DrowsyDc) {
-      drowsy_global = row.global;
-    } else {
-      neat_global = row.global;
-    }
-    rows.push_back(std::move(row));
-    table_cluster = &tb->cluster;
-    keeper = std::move(tb);  // keep the last cluster alive for rendering
-  }
-
-  std::printf("%s\n", metrics::suspend_fraction_table(rows, *table_cluster, {0, 1, 2, 3})
-                          .c_str());
-  std::printf("paper anchors: drowsy-dc {0, 94, 79, 91 | 66}; neat {89, 7, 8, 93 | 49}\n");
-  if (neat_global > 0.0) {
-    std::printf("suspension-time gain of Drowsy-DC over Neat: %+.0f%%  (paper: +35%%)\n",
-                100.0 * (drowsy_global - neat_global) / neat_global);
-  }
+  std::printf("\npaper anchors: drowsy-dc {0, 94, 79, 91 | 66}; neat {89, 7, 8, 93 | 49}\n");
+  std::printf("(gain_vs_neat_pct on the drowsy-dc row reconstructs the paper's +35%%)\n");
   return 0;
 }

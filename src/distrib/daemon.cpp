@@ -1,5 +1,6 @@
 #include "distrib/daemon.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <filesystem>
@@ -182,6 +183,43 @@ DaemonOutcome run_daemon(const DaemonOptions& options) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
   }
+}
+
+std::vector<StaleClaim> find_stale_claims(const std::string& queue_dir,
+                                          double threshold_s) {
+  const fs::path root(queue_dir);
+  if (!fs::is_directory(root)) {
+    throw DistribError("queue directory " + root.string() + " does not exist");
+  }
+  std::vector<StaleClaim> stale;
+  const fs::path claimed = root / "claimed";
+  if (!fs::is_directory(claimed)) return stale;  // nothing ever claimed
+  const auto now = fs::file_time_type::clock::now();
+  for (const fs::directory_entry& worker : fs::directory_iterator(claimed)) {
+    if (!worker.is_directory()) continue;
+    for (const fs::directory_entry& entry : fs::directory_iterator(worker.path())) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
+      try {
+        static_cast<void>(
+            manifest_from_json(ec::Json::parse(ec::read_file(entry.path().string()))));
+      } catch (const std::exception&) {
+        continue;  // a journal or stray file, not a claim
+      }
+      std::error_code ec_time;
+      const auto written = fs::last_write_time(entry.path(), ec_time);
+      if (ec_time) continue;  // raced with the owner archiving it
+      const double age_s = std::chrono::duration<double>(now - written).count();
+      if (age_s >= threshold_s) {
+        stale.push_back({entry.path().string(),
+                         worker.path().filename().string(), age_s});
+      }
+    }
+  }
+  std::sort(stale.begin(), stale.end(),
+            [](const StaleClaim& a, const StaleClaim& b) {
+              return a.manifest_path < b.manifest_path;
+            });
+  return stale;
 }
 
 }  // namespace drowsy::distrib

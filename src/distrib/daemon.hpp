@@ -40,6 +40,7 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "distrib/shard.hpp"
 
@@ -72,6 +73,26 @@ struct DaemonOutcome {
   std::size_t failed = 0;     ///< tasks moved to failed/
   DaemonExit exit = DaemonExit::Idle;
 };
+
+/// A manifest sitting in some worker's claimed/ directory longer than
+/// the caller's threshold — the signature of a worker that died mid-task
+/// and never came back (the claim parks its shard until a daemon with
+/// the same worker id resumes it).
+struct StaleClaim {
+  std::string manifest_path;  ///< <queue>/claimed/<worker>/<name>.json
+  std::string worker_id;
+  double age_s = 0.0;  ///< since the manifest file was last written
+};
+
+/// Scan <queue>/claimed/*/ for manifests older than `threshold_s`
+/// seconds, in path order.  Only files that parse as shard manifests
+/// count (journals and stray files are ignored, like the daemon's own
+/// pending scan).  A queue without a claimed/ directory has no claims;
+/// a missing queue root throws DistribError.  Read-only: the first step
+/// toward a stale-claim reaper — surfacing the parked work is safe,
+/// re-enqueueing it automatically is not (the owner may still be alive).
+[[nodiscard]] std::vector<StaleClaim> find_stale_claims(const std::string& queue_dir,
+                                                        double threshold_s);
 
 /// Serve the queue until STOP or idle timeout; see the file comment for
 /// the protocol.  Throws DistribError only for an unusable queue (missing

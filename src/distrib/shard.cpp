@@ -19,7 +19,7 @@ JobKey job_key(const sc::BatchJob& job) {
   JobKey key;
   key.spec_hash = ec::spec_hash(job.spec);
   key.policy = sc::to_string(job.policy);
-  key.seed = job.seed != 0 ? job.seed : job.spec.seed;
+  key.seed = job.resolved_seed();
   return key;
 }
 
@@ -39,7 +39,7 @@ std::vector<JobKey> job_keys(const std::vector<sc::BatchJob>& jobs) {
     JobKey key;
     key.spec_hash = prev_hash;
     key.policy = sc::to_string(job.policy);
-    key.seed = job.seed != 0 ? job.seed : job.spec.seed;
+    key.seed = job.resolved_seed();
     keys.push_back(std::move(key));
   }
   return keys;

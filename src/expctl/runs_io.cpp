@@ -59,6 +59,9 @@ Json to_json(const scenario::RunResult& result) {
   j.set("wakes", result.wakes);
   j.set("migrations", result.migrations);
   j.set("suspends", result.suspends);
+  Json hosts = Json::array();
+  for (const double f : result.host_suspend_fraction) hosts.push_back(f);
+  j.set("host_suspend_fraction", std::move(hosts));
   return j;
 }
 
@@ -91,7 +94,7 @@ scenario::RunResult run_result_from_json(const Json& j) {
   check_keys(j, "run result",
              {"scenario", "policy", "seed", "simulated_hours", "kwh", "suspend_fraction",
               "sla_attainment", "wake_latency_p99_ms", "requests", "wakes", "migrations",
-              "suspends"});
+              "suspends", "host_suspend_fraction"});
   scenario::RunResult r;
   r.scenario = field(j, "scenario", [](const Json& v) { return v.as_string(); });
   r.policy = field(j, "policy", [](const Json& v) { return v.as_string(); });
@@ -107,6 +110,17 @@ scenario::RunResult run_result_from_json(const Json& j) {
   r.wakes = field(j, "wakes", [](const Json& v) { return v.as_uint(); });
   r.migrations = field(j, "migrations", int_range_checked);
   r.suspends = field(j, "suspends", int_range_checked);
+  // Optional: rows journaled before the field existed parse with it
+  // empty (the wall_ms precedent — old journals must keep merging).
+  if (const Json* hosts = j.find("host_suspend_fraction")) {
+    try {
+      for (const Json& v : hosts->elements()) {
+        r.host_suspend_fraction.push_back(v.as_double());
+      }
+    } catch (const JsonError& e) {
+      throw SpecError(std::string("run result host_suspend_fraction: ") + e.what());
+    }
+  }
   return r;
 }
 

@@ -450,6 +450,49 @@ SweepSpec sweep_from_json(const Json& j, const sc::ScenarioRegistry& registry) {
   return sweep;
 }
 
+Json to_json(const SweepSpec& sweep) {
+  Json j = Json::object();
+  j.set("name", sweep.name);
+  Json scenarios = Json::array();
+  for (const sc::ScenarioSpec& spec : sweep.scenarios) scenarios.push_back(to_json(spec));
+  j.set("scenarios", std::move(scenarios));
+  Json policies = Json::array();
+  for (const sc::Policy policy : sweep.policies) policies.push_back(sc::to_string(policy));
+  j.set("policies", std::move(policies));
+  if (!sweep.seeds.empty()) {
+    Json seeds = Json::array();
+    for (const std::uint64_t seed : sweep.seeds) seeds.push_back(seed);
+    j.set("seeds", std::move(seeds));
+  } else {
+    j.set("replicates", static_cast<std::uint64_t>(sweep.replicates));
+  }
+  if (!sweep.hosts_axis.empty() || !sweep.request_rate_axis.empty() ||
+      !sweep.grace_max_axis.empty() || !sweep.check_interval_axis.empty()) {
+    Json axes = Json::object();
+    if (!sweep.hosts_axis.empty()) {
+      Json values = Json::array();
+      for (const int h : sweep.hosts_axis) values.push_back(h);
+      axes.set("hosts", std::move(values));
+    }
+    if (!sweep.request_rate_axis.empty()) {
+      Json values = Json::array();
+      for (const double r : sweep.request_rate_axis) values.push_back(r);
+      axes.set("request_rate_per_hour", std::move(values));
+    }
+    const auto duration_axis = [&axes](const char* key,
+                                       const std::vector<util::SimTime>& axis) {
+      if (axis.empty()) return;
+      Json values = Json::array();
+      for (const util::SimTime ms : axis) values.push_back(ms);
+      axes.set(key, std::move(values));
+    };
+    duration_axis("grace_max_ms", sweep.grace_max_axis);
+    duration_axis("suspend_check_interval_ms", sweep.check_interval_axis);
+    j.set("axes", std::move(axes));
+  }
+  return j;
+}
+
 namespace {
 
 /// Axis value rendered for a scenario-name suffix ("120", "12.5") —

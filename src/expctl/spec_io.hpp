@@ -98,6 +98,13 @@ struct SweepSpec {
 [[nodiscard]] SweepSpec sweep_from_json(const Json& j,
                                         const scenario::ScenarioRegistry& registry);
 
+/// Serialize a resolved sweep as a self-contained sweep document: every
+/// scenario inline (no registry references), axes only when non-empty.
+/// sweep_from_json(to_json(s)) expands to the identical job grid — the
+/// property that lets `drowsy_sweep study dump` feed `shard plan` and
+/// the daemons without the workers knowing about studies.
+[[nodiscard]] Json to_json(const SweepSpec& sweep);
+
 /// Expand to the job grid: scenario x hosts-axis x rate-axis x grace-axis
 /// x check-interval-axis x policy x seed, in scenario::cross() order.
 /// Axis-derived specs get suffixed names ("paper-testbed.h8.r120.g30000.c15000")

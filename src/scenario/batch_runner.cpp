@@ -58,7 +58,7 @@ std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
   // parallel_for rethrows the first failing run's exception here.
   util::parallel_for(pool_, jobs.size(), [&](std::size_t i) {
     const BatchJob& job = jobs[i];
-    const std::uint64_t seed = job.seed != 0 ? job.seed : job.spec.seed;
+    const std::uint64_t seed = job.resolved_seed();
     const auto start = std::chrono::steady_clock::now();
     results[i] = run_one(job.spec, job.policy, seed, &trace_cache);
     const double wall_ms =
@@ -114,17 +114,31 @@ std::vector<AggregateRow> aggregate(const std::vector<RunResult>& results) {
   return rows;
 }
 
+namespace {
+
+/// ';'-joined per-host fractions — one CSV cell, no quoting needed.
+std::string host_fractions_cell(const RunResult& r) {
+  std::string cell;
+  for (std::size_t i = 0; i < r.host_suspend_fraction.size(); ++i) {
+    if (i > 0) cell += ";";
+    cell += num(r.host_suspend_fraction[i]);
+  }
+  return cell;
+}
+
+}  // namespace
+
 std::string to_csv(const std::vector<RunResult>& results) {
   std::string out =
       "scenario,policy,seed,simulated_hours,kwh,suspend_fraction,sla_attainment,"
-      "wake_p99_ms,requests,wakes,migrations,suspends\n";
+      "wake_p99_ms,requests,wakes,migrations,suspends,host_suspend_fractions\n";
   for (const RunResult& r : results) {
     out += r.scenario + "," + r.policy + "," + std::to_string(r.seed) + "," +
            std::to_string(r.simulated_hours) + "," + num(r.kwh) + "," +
            num(r.suspend_fraction) + "," + num(r.sla_attainment) + "," +
            num(r.wake_latency_p99_ms) + "," + std::to_string(r.requests) + "," +
            std::to_string(r.wakes) + "," + std::to_string(r.migrations) + "," +
-           std::to_string(r.suspends) + "\n";
+           std::to_string(r.suspends) + "," + host_fractions_cell(r) + "\n";
   }
   return out;
 }
@@ -157,7 +171,12 @@ std::string to_json(const std::vector<RunResult>& results) {
            ", \"requests\": " + std::to_string(r.requests) +
            ", \"wakes\": " + std::to_string(r.wakes) +
            ", \"migrations\": " + std::to_string(r.migrations) +
-           ", \"suspends\": " + std::to_string(r.suspends) + "}";
+           ", \"suspends\": " + std::to_string(r.suspends) +
+           ", \"host_suspend_fraction\": [";
+    for (std::size_t h = 0; h < r.host_suspend_fraction.size(); ++h) {
+      out += (h > 0 ? ", " : "") + num(r.host_suspend_fraction[h]);
+    }
+    out += "]}";
     out += i + 1 < results.size() ? ",\n" : "\n";
   }
   out += "]\n";

@@ -24,6 +24,12 @@ struct BatchJob {
   ScenarioSpec spec;
   Policy policy = Policy::DrowsyDc;
   std::uint64_t seed = 0;  ///< 0 = use spec.seed
+
+  /// The seed the run actually executes with — the one rule every
+  /// consumer (runner, journal keys, study reducers) must agree on.
+  [[nodiscard]] std::uint64_t resolved_seed() const {
+    return seed != 0 ? seed : spec.seed;
+  }
 };
 
 /// Cartesian helper: every spec x every policy x every replicate seed.

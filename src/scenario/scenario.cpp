@@ -317,8 +317,10 @@ RunResult harvest(const std::string& scenario_name, ScenarioRun& run) {
     all_hosts.push_back(host->id());
     r.suspends += host->suspend_count();
   }
-  r.suspend_fraction =
-      metrics::suspend_fractions(r.policy, run.cluster, all_hosts, 0).global;
+  metrics::SuspendFractionRow fractions =
+      metrics::suspend_fractions(r.policy, run.cluster, all_hosts, 0);
+  r.suspend_fraction = fractions.global;
+  r.host_suspend_fraction = std::move(fractions.per_host);
   return r;
 }
 

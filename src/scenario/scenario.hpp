@@ -190,6 +190,10 @@ struct RunResult {
   std::uint64_t wakes = 0;
   int migrations = 0;
   int suspends = 0;  ///< total S0→S3 transitions across hosts
+  /// Per-host fraction of host-time in S3, in host-id order (Table I's
+  /// per-host rows).  Journal rows written before this field existed
+  /// parse with it empty.
+  std::vector<double> host_suspend_fraction;
 };
 
 /// Collect a RunResult from a finished deployment.

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <stdexcept>
 #include <string>
@@ -168,6 +169,36 @@ TEST_F(DaemonFixture, RestartResumesOwnClaimedTasks) {
   EXPECT_TRUE(fs::exists(root / "done" / "shard_0.json"));
   EXPECT_TRUE(fs::exists(root / "done" / "shard_0.journal.jsonl"));
   EXPECT_TRUE(fs::is_empty(claimed));
+}
+
+TEST_F(DaemonFixture, StaleClaimsAreFoundByAgeAndWorker) {
+  const fs::path root = make_queue("stale", 2);
+  // No claimed/ directory yet: nothing is stale, and that is not an error.
+  EXPECT_TRUE(dt::find_stale_claims(root.string(), 0.0).empty());
+
+  // A worker claims shard 0 and dies; back-date the claim two hours.
+  const fs::path claimed = root / "claimed" / "deadworker";
+  fs::create_directories(claimed);
+  fs::rename(root / "shard_0.json", claimed / "shard_0.json");
+  fs::last_write_time(claimed / "shard_0.json",
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+  // Its journal (not a manifest) must not count as a claim.
+  ASSERT_TRUE_OR_THROW(
+      sc::write_file((claimed / "shard_0.journal.jsonl").string(), "{}\n"));
+
+  const auto stale = dt::find_stale_claims(root.string(), 3600.0);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].worker_id, "deadworker");
+  EXPECT_EQ(stale[0].manifest_path, (claimed / "shard_0.json").string());
+  EXPECT_GE(stale[0].age_s, 3600.0);
+
+  // A generous threshold keeps a live worker's claim off the list.
+  EXPECT_TRUE(dt::find_stale_claims(root.string(), 3 * 3600.0).empty());
+
+  // A missing queue root stays a hard error, matching run_daemon.
+  EXPECT_THROW(static_cast<void>(dt::find_stale_claims(
+                   (fs::path(::testing::TempDir()) / "drowsy_q_missing").string(), 1.0)),
+               dt::DistribError);
 }
 
 TEST_F(DaemonFixture, UnusableQueueThrows) {

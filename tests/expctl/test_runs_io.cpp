@@ -26,6 +26,7 @@ sc::RunResult sample_result() {
   r.wakes = 567;
   r.migrations = -3;  // int fields round-trip signed values too
   r.suspends = 42;
+  r.host_suspend_fraction = {0.0, 0.987654321987654321, 1.0 / 7.0};
   return r;
 }
 
@@ -66,8 +67,26 @@ TEST(RunsIo, RunResultRoundTripsExactly) {
   EXPECT_EQ(back.wakes, r.wakes);
   EXPECT_EQ(back.migrations, r.migrations);
   EXPECT_EQ(back.suspends, r.suspends);
+  EXPECT_EQ(back.host_suspend_fraction, r.host_suspend_fraction);  // bit-exact
   // Dump byte-stability through a second cycle.
   EXPECT_EQ(ec::to_json(back).dump(), j.dump());
+}
+
+TEST(RunsIo, HostFractionsAreOptionalForOldJournalRows) {
+  // Rows journaled before host_suspend_fraction existed must keep
+  // parsing (the wall_ms schema-compat promise).
+  const ec::Json full = ec::to_json(sample_result());
+  ec::Json old_row = ec::Json::object();
+  for (const auto& [key, value] : full.items()) {
+    if (key != "host_suspend_fraction") old_row.set(key, value);
+  }
+  const sc::RunResult back = ec::run_result_from_json(old_row);
+  EXPECT_TRUE(back.host_suspend_fraction.empty());
+  EXPECT_EQ(back.suspends, sample_result().suspends);
+
+  ec::Json wrong_type = ec::to_json(sample_result());
+  wrong_type.set("host_suspend_fraction", "nope");
+  EXPECT_THROW(static_cast<void>(ec::run_result_from_json(wrong_type)), ec::SpecError);
 }
 
 TEST(RunsIo, RunResultParseIsStrict) {

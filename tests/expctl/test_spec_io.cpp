@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expctl/runs_io.hpp"
 #include "scenario/registry.hpp"
 
 namespace ec = drowsy::expctl;
@@ -170,6 +171,41 @@ TEST(SpecIo, AblationAxesExpandGraceAndCheckInterval) {
   EXPECT_EQ(tiny_jobs[0].spec.grace_max, 1000);
   EXPECT_LE(tiny_jobs[0].spec.grace_min, 1000);
   for (const auto& job : tiny_jobs) EXPECT_EQ(job.spec.validate(), "") << job.spec.name;
+}
+
+TEST(SpecIo, SweepToJsonRoundTripsToTheSameGrid) {
+  // The `study dump` path: a resolved SweepSpec serialized with
+  // to_json(SweepSpec) must parse back into a sweep that expands to the
+  // identical grid — names, axes, seeds and all.
+  const ec::Json j = ec::Json::parse(R"({
+    "name": "round-trip",
+    "scenarios": ["dev-fleet-idle", "paper-testbed"],
+    "policies": ["drowsy-dc", "neat+s3"],
+    "seeds": [7, 8],
+    "axes": {"hosts": [4, 8], "grace_max_ms": [30000, 120000]}
+  })");
+  const ec::SweepSpec sweep = ec::sweep_from_json(j, sc::ScenarioRegistry::builtin());
+  const ec::SweepSpec back = ec::sweep_from_json(ec::Json::parse(ec::to_json(sweep).dump()),
+                                                 sc::ScenarioRegistry::builtin());
+  const auto direct = ec::expand(sweep);
+  const auto via_json = ec::expand(back);
+  ASSERT_EQ(direct.size(), via_json.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].spec.name, via_json[i].spec.name) << i;
+    EXPECT_EQ(ec::spec_hash(direct[i].spec), ec::spec_hash(via_json[i].spec)) << i;
+    EXPECT_EQ(direct[i].policy, via_json[i].policy) << i;
+    EXPECT_EQ(direct[i].seed, via_json[i].seed) << i;
+  }
+  // Replicate-based sweeps serialize "replicates" instead of "seeds".
+  ec::SweepSpec replicated = sweep;
+  replicated.seeds.clear();
+  replicated.replicates = 3;
+  const ec::Json dumped = ec::to_json(replicated);
+  EXPECT_EQ(dumped.find("seeds"), nullptr);
+  const ec::SweepSpec back2 = ec::sweep_from_json(ec::Json::parse(dumped.dump()),
+                                                  sc::ScenarioRegistry::builtin());
+  EXPECT_EQ(back2.replicates, 3u);
+  EXPECT_EQ(ec::expand(back2).size(), ec::expand(replicated).size());
 }
 
 TEST(SpecIo, GraceFieldsRoundTripAndValidate) {

@@ -38,14 +38,34 @@
 //       canonical job order, and emit the same tables/artifacts as `run`
 //       — byte-identical to a single-process execution of the sweep.
 //   drowsy_sweep shard status <sweep.json> --journal F [--journal F ...]
+//                    [--queue-dir D] [--stale-after-s S]
 //       Coverage report: completed/missing/duplicate/foreign counts plus
-//       per-journal measured wall-clock totals.
+//       per-journal measured wall-clock totals.  With --queue-dir, also
+//       warn about manifests parked in claimed/<worker>/ longer than the
+//       threshold (default 900 s) — a dead worker's shard.
 //   drowsy_sweep shard daemon <queue-dir> [--worker-id W] [--threads N]
 //                    [--poll-ms P] [--max-idle-s S]
 //       Long-running worker: claim manifests from the queue directory
 //       (atomic rename; safe with many daemons on a shared filesystem),
 //       execute each through the crash-safe journal path, archive to
 //       done/ or failed/, and poll until a STOP sentinel or idleness.
+//
+// Paper-figure studies (src/study; see docs/studies.md):
+//
+//   drowsy_sweep study list
+//       Registered studies with their paper figure and parameters.
+//   drowsy_sweep study run <study> [--set k=v ...] [--threads N]
+//                    [--out F] [--runs-csv F]
+//       Expand the study's grid, execute it on the BatchRunner and print
+//       the reduced figure CSV (--out writes exactly those bytes).
+//   drowsy_sweep study dump <study> [--set k=v ...] [--out F]
+//       The study's grid as a self-contained sweep JSON — feed it to
+//       `shard plan` and the queue daemons to run a study distributed.
+//   drowsy_sweep study reduce <study> [--set k=v ...] --journal F...
+//                    [--out F]
+//       Merge the journals of a sharded study run (coverage-validated,
+//       canonical order restored) and emit the figure CSV —
+//       byte-identical to a single-process `study run`.
 //
 // Full reference (flags, file formats, exit codes): docs/drowsy_sweep.md.
 #include <sys/stat.h>
@@ -70,10 +90,12 @@
 #include "expctl/spec_io.hpp"
 #include "scenario/batch_runner.hpp"
 #include "scenario/registry.hpp"
+#include "study/study.hpp"
 
 namespace dt = drowsy::distrib;
 namespace ec = drowsy::expctl;
 namespace sc = drowsy::scenario;
+namespace st = drowsy::study;
 
 namespace {
 
@@ -90,11 +112,18 @@ void print_usage(std::FILE* out, const char* argv0) {
                " [--journal F]\n"
                "       %s shard merge <sweep.json> --journal F... [--alpha A] [--csv F]"
                " [--runs-csv F] [--json F] [--verdicts-csv F]\n"
-               "       %s shard status <sweep.json> --journal F...\n"
+               "       %s shard status <sweep.json> --journal F... [--queue-dir D]"
+               " [--stale-after-s S]\n"
                "       %s shard daemon <queue-dir> [--worker-id W] [--threads N]"
                " [--poll-ms P] [--max-idle-s S]\n"
+               "       %s study list\n"
+               "       %s study run <study> [--set k=v ...] [--threads N] [--out F]"
+               " [--runs-csv F]\n"
+               "       %s study dump <study> [--set k=v ...] [--out F]\n"
+               "       %s study reduce <study> [--set k=v ...] --journal F... [--out F]\n"
                "see docs/drowsy_sweep.md for the full reference\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0, argv0, argv0);
 }
 
 int usage(const char* argv0) {
@@ -422,15 +451,29 @@ struct JournalSetOptions {
   std::string sweep_path;
   std::vector<std::string> journals;
   EmitOptions emit;
+  std::string queue_dir;        ///< status only: scan claimed/ for stale tasks
+  double stale_after_s = 900.0; ///< status only: stale-claim threshold
 };
 
-int parse_journal_set(int argc, char** argv, JournalSetOptions& opts, bool allow_emit) {
+int parse_journal_set(int argc, char** argv, JournalSetOptions& opts, bool allow_emit,
+                      bool allow_queue = false) {
   for (int i = 3; i < argc; ++i) {
     const auto value = [&](const char* flag) { return flag_value(argc, argv, i, flag); };
     if (std::strcmp(argv[i], "--journal") == 0) {
       opts.journals.push_back(value("--journal"));
     } else if (allow_emit && parse_emit_flag(argc, argv, i, opts.emit)) {
       // handled
+    } else if (allow_queue && std::strcmp(argv[i], "--queue-dir") == 0) {
+      opts.queue_dir = value("--queue-dir");
+    } else if (allow_queue && std::strcmp(argv[i], "--stale-after-s") == 0) {
+      const char* text = value("--stale-after-s");
+      char* end = nullptr;
+      opts.stale_after_s = std::strtod(text, &end);
+      if (end == text || *end != '\0' || opts.stale_after_s < 0.0) {
+        std::fprintf(stderr, "--stale-after-s: \"%s\" is not a non-negative number\n",
+                     text);
+        return 2;
+      }
     } else if (opts.sweep_path.empty() && argv[i][0] != '-') {
       opts.sweep_path = argv[i];
     } else {
@@ -477,7 +520,9 @@ int cmd_shard_merge(int argc, char** argv) {
 
 int cmd_shard_status(int argc, char** argv) {
   JournalSetOptions opts;
-  if (const int rc = parse_journal_set(argc, argv, opts, /*allow_emit=*/false); rc != 0) {
+  if (const int rc = parse_journal_set(argc, argv, opts, /*allow_emit=*/false,
+                                       /*allow_queue=*/true);
+      rc != 0) {
     return rc;
   }
   const LoadedSweep loaded = load_sweep(opts.sweep_path);
@@ -515,6 +560,19 @@ int cmd_shard_status(int argc, char** argv) {
   if (!cov.foreign.empty()) {
     std::printf("  foreign rows: %zu (e.g. %s)\n", cov.foreign.size(),
                 cov.foreign.front().c_str());
+  }
+  if (!opts.queue_dir.empty()) {
+    // Stale claims park their shard until a daemon with the same worker
+    // id returns; surface them so the operator can restart or re-enqueue
+    // (the first step toward an automatic reaper).
+    for (const dt::StaleClaim& claim :
+         dt::find_stale_claims(opts.queue_dir, opts.stale_after_s)) {
+      std::printf(
+          "  warning: stale claim %s (worker %s, unclaimed-for %.0f s) — restart a "
+          "daemon with --worker-id %s or move the manifest back to the queue root\n",
+          claim.manifest_path.c_str(), claim.worker_id.c_str(), claim.age_s,
+          claim.worker_id.c_str());
+    }
   }
   return cov.complete() ? 0 : 3;  // distinct from hard errors (1) and usage (2)
 }
@@ -571,6 +629,137 @@ int cmd_shard_daemon(int argc, char** argv) {
   return outcome.failed == 0 ? 0 : 1;
 }
 
+// --- study subcommands --------------------------------------------------------
+
+/// Shared by run/dump/reduce: study name, --set overrides, then the
+/// verb-specific flags the caller accepts.
+struct StudyOptions {
+  const st::Study* study = nullptr;
+  st::StudyParams params;
+  std::size_t threads = 0;
+  std::string out_path;
+  std::string runs_csv;
+  std::vector<std::string> journals;
+};
+
+int parse_study(int argc, char** argv, StudyOptions& opts, bool allow_run_flags,
+                bool allow_journals) {
+  std::string name;
+  for (int i = 3; i < argc; ++i) {
+    const auto value = [&](const char* flag) { return flag_value(argc, argv, i, flag); };
+    if (std::strcmp(argv[i], "--set") == 0) {
+      if (opts.study == nullptr) {
+        std::fprintf(stderr, "--set must follow the study name\n");
+        return 2;
+      }
+      opts.params.set_from_token(value("--set"));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      opts.out_path = value("--out");
+    } else if (allow_run_flags && std::strcmp(argv[i], "--threads") == 0) {
+      opts.threads = static_cast<std::size_t>(parse_threads(value("--threads")));
+    } else if (allow_run_flags && std::strcmp(argv[i], "--runs-csv") == 0) {
+      opts.runs_csv = value("--runs-csv");
+    } else if (allow_journals && std::strcmp(argv[i], "--journal") == 0) {
+      opts.journals.push_back(value("--journal"));
+    } else if (name.empty() && argv[i][0] != '-') {
+      name = argv[i];
+      const st::Study* study = st::StudyRegistry::builtin().find(name);
+      if (study == nullptr) {
+        std::fprintf(stderr, "no such study: %s (try 'drowsy_sweep study list')\n",
+                     name.c_str());
+        return 1;
+      }
+      opts.study = study;
+      opts.params = study->params;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opts.study == nullptr) return usage(argv[0]);
+  return 0;
+}
+
+int cmd_study_list() {
+  for (const st::Study& study : st::StudyRegistry::builtin().all()) {
+    std::printf("%-24s %-22s %s\n", study.name.c_str(), study.figure.c_str(),
+                study.description.c_str());
+    std::printf("%-24s   params: %s\n", "", study.params.describe().c_str());
+  }
+  return 0;
+}
+
+/// Print the figure CSV and honor --out (exact CSV bytes, no banner).
+bool emit_figure_csv(const std::string& csv, const std::string& out_path) {
+  std::fwrite(csv.data(), 1, csv.size(), stdout);
+  if (out_path.empty()) return true;
+  return sc::write_file(out_path, csv);
+}
+
+int cmd_study_run(int argc, char** argv) {
+  StudyOptions opts;
+  if (const int rc = parse_study(argc, argv, opts, /*allow_run_flags=*/true,
+                                 /*allow_journals=*/false);
+      rc != 0) {
+    return rc;
+  }
+  const auto jobs = st::jobs_for(*opts.study, opts.params);
+  std::printf("== study %s (%s): %zu runs [%s] ==\n", opts.study->name.c_str(),
+              opts.study->figure.c_str(), jobs.size(), opts.params.describe().c_str());
+  const st::StudyOutcome outcome = st::run_study(*opts.study, opts.params, opts.threads);
+  bool ok = emit_figure_csv(outcome.csv, opts.out_path);
+  if (!opts.runs_csv.empty()) {
+    ok &= sc::write_file(opts.runs_csv, sc::to_csv(outcome.results));
+  }
+  std::printf("\ntraces materialized: %llu (reused %llu times)\n",
+              static_cast<unsigned long long>(outcome.trace_misses),
+              static_cast<unsigned long long>(outcome.trace_hits));
+  return ok ? 0 : 1;
+}
+
+int cmd_study_dump(int argc, char** argv) {
+  StudyOptions opts;
+  if (const int rc = parse_study(argc, argv, opts, /*allow_run_flags=*/false,
+                                 /*allow_journals=*/false);
+      rc != 0) {
+    return rc;
+  }
+  const std::string text = ec::to_json(opts.study->sweep(opts.params)).dump();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  if (!opts.out_path.empty() && !sc::write_file(opts.out_path, text)) return 1;
+  return 0;
+}
+
+int cmd_study_reduce(int argc, char** argv) {
+  StudyOptions opts;
+  if (const int rc = parse_study(argc, argv, opts, /*allow_run_flags=*/false,
+                                 /*allow_journals=*/true);
+      rc != 0) {
+    return rc;
+  }
+  if (opts.journals.empty()) return usage(argv[0]);
+  const auto jobs = st::jobs_for(*opts.study, opts.params);
+  const auto entries = read_journal_set(opts.journals);
+  // merge_journals proves coverage (missing/duplicate/foreign rows are
+  // hard errors) and restores canonical order; reduce_study re-checks the
+  // rows against the study grid, so wrong --set parameters cannot
+  // silently produce a wrong figure.
+  const auto results = dt::merge_journals(jobs, entries);
+  return emit_figure_csv(st::reduce_study(*opts.study, opts.params, jobs, results),
+                         opts.out_path)
+             ? 0
+             : 1;
+}
+
+int cmd_study(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string verb = argv[2];
+  if (verb == "list") return argc == 3 ? cmd_study_list() : usage(argv[0]);
+  if (verb == "run") return cmd_study_run(argc, argv);
+  if (verb == "dump") return cmd_study_dump(argc, argv);
+  if (verb == "reduce") return cmd_study_reduce(argc, argv);
+  return usage(argv[0]);
+}
+
 int cmd_shard(int argc, char** argv) {
   if (argc < 3) return usage(argv[0]);
   const std::string verb = argv[2];
@@ -605,6 +794,9 @@ int main(int argc, char** argv) {
     }
     if (command == "shard") {
       return cmd_shard(argc, argv);
+    }
+    if (command == "study") {
+      return cmd_study(argc, argv);
     }
     if (command == "run") {
       RunOptions opts;
