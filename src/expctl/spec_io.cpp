@@ -19,7 +19,7 @@ const std::vector<sc::TraceKind>& all_trace_kinds() {
       sc::TraceKind::DiplomaResults, sc::TraceKind::OfficeHours,
       sc::TraceKind::EndOfMonth,     sc::TraceKind::GoogleLlmu,
       sc::TraceKind::RandomLlmi,     sc::TraceKind::PhaseWindow,
-      sc::TraceKind::DutyCycle,
+      sc::TraceKind::DutyCycle,      sc::TraceKind::FileReplay,
   };
   return kinds;
 }
@@ -152,6 +152,12 @@ Json to_json(const sc::TraceSpec& spec) {
   j.set("period_hours", spec.period_hours);
   j.set("variant", static_cast<std::int64_t>(spec.variant));
   j.set("seed", spec.seed);
+  // The replay knobs are emitted only when set: every pre-replay spec
+  // keeps its exact dump bytes, so spec_hash fingerprints (and journals
+  // keyed by them) survive this schema extension unchanged.
+  if (!spec.path.empty()) j.set("path", spec.path);
+  if (!spec.select.empty()) j.set("select", spec.select);
+  if (spec.downsample != 1) j.set("downsample", spec.downsample);
   return j;
 }
 
@@ -160,10 +166,17 @@ sc::TraceSpec trace_spec_from_json(const Json& j) {
   require_object(j, path);
   check_keys(j, path,
              {"kind", "years", "noise", "level", "hour", "span_hours", "period_hours",
-              "variant", "seed"});
+              "variant", "seed", "path", "select", "downsample"});
   sc::TraceSpec spec;
   if (const Json* kind = j.find("kind")) {
-    spec.kind = trace_kind_from_string(at_path(path + ".kind", [&] { return kind->as_string(); }));
+    const std::string name = at_path(path + ".kind", [&] { return kind->as_string(); });
+    try {
+      spec.kind = trace_kind_from_string(name);
+    } catch (const SpecError& e) {
+      // Re-anchor the "unknown trace kind (known: ...)" message at its
+      // JSON key; sweep loaders prepend the file path above this.
+      throw SpecError(path + ".kind: " + e.what());
+    }
   }
   spec.years = static_cast<std::size_t>(get_uint64(j, "years", spec.years, path));
   spec.noise = get_double(j, "noise", spec.noise, path);
@@ -173,6 +186,20 @@ sc::TraceSpec trace_spec_from_json(const Json& j) {
   spec.period_hours = get_int(j, "period_hours", spec.period_hours, path);
   spec.variant = static_cast<std::size_t>(get_uint64(j, "variant", spec.variant, path));
   spec.seed = get_uint64(j, "seed", spec.seed, path);
+  spec.path = get_string(j, "path", spec.path, path);
+  spec.select = get_string(j, "select", spec.select, path);
+  spec.downsample = get_int(j, "downsample", spec.downsample, path);
+  if (spec.downsample < 1) {
+    throw SpecError(path + ".downsample: must be >= 1, got " +
+                    std::to_string(spec.downsample));
+  }
+  if (!spec.path.empty() && spec.kind != sc::TraceKind::FileReplay) {
+    throw SpecError(path + ".path: only valid with kind \"file-replay\" (got \"" +
+                    std::string(sc::to_string(spec.kind)) + "\")");
+  }
+  if (spec.kind == sc::TraceKind::FileReplay && spec.path.empty()) {
+    throw SpecError(path + ": kind \"file-replay\" requires a \"path\"");
+  }
   return spec;
 }
 

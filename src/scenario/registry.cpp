@@ -411,6 +411,67 @@ ScenarioSpec fig3_oscillation() {
   return s;
 }
 
+/// Real-trace replay: the checked-in Azure-style sample slice
+/// (traces/azure_sample.csv, 6 VMs over 14 days — a mix of LLMU, LLMI
+/// and short-lived SLMU profiles) driven through the full pipeline.
+/// No trace synthesis happens: each VM replays one file column
+/// (variant-indexed, so the group walks the columns), which makes this
+/// the external-validity scenario — the idleness model meets traffic
+/// nobody hand-shaped.  Paths are repo-relative; runs from elsewhere
+/// resolve them via DROWSY_TRACE_ROOT (see docs/replay.md).
+ScenarioSpec replay_azure_sample() {
+  ScenarioSpec s;
+  s.name = "replay-azure-sample";
+  s.description = "replay of the Azure-style sample slice: 6 real-shaped VMs on 4 hosts";
+  s.hosts = 4;
+  s.host_template = {"", 8, 16384, 4};
+  s.vms = {
+      {.name_prefix = "az",
+       .count = 6,
+       .memory_mb = 4096,
+       .workload = {.kind = TraceKind::FileReplay, .path = "traces/azure_sample.csv"}},
+  };
+  s.pretrain_days = 7;
+  s.duration_days = 3;
+  s.request_rate_per_hour = 40.0;
+  s.seed = 37;
+  s.relocate_all = true;
+  return s;
+}
+
+/// Mixed provenance: Azure-style and Google-style replay columns beside
+/// synthetic LLMU VMs — the three workload sources the policies must
+/// consolidate together.  The Google columns are hour-pooled task rates
+/// (bursty, sub-day lifetimes), the Azure columns are day-scale VM
+/// profiles, and the synthetic backbone pins the always-busy floor.
+ScenarioSpec replay_mixed() {
+  ScenarioSpec s;
+  s.name = "replay-mixed";
+  s.description = "Azure + Google replay columns + synthetic LLMU backbone on 6 hosts";
+  s.hosts = 6;
+  s.host_template = {"", 8, 16384, 4};
+  s.vms = {
+      {.name_prefix = "az",
+       .count = 6,
+       .memory_mb = 4096,
+       .workload = {.kind = TraceKind::FileReplay, .path = "traces/azure_sample.csv"}},
+      {.name_prefix = "goog",
+       .count = 5,
+       .memory_mb = 4096,
+       .workload = {.kind = TraceKind::FileReplay, .path = "traces/google_sample.csv"}},
+      {.name_prefix = "core",
+       .count = 4,
+       .memory_mb = 4096,
+       .workload = {.kind = TraceKind::LlmuConstant, .noise = 0.02, .level = 0.6}},
+  };
+  s.pretrain_days = 7;
+  s.duration_days = 3;
+  s.request_rate_per_hour = 50.0;
+  s.seed = 41;
+  s.relocate_all = true;
+  return s;
+}
+
 }  // namespace
 
 const ScenarioRegistry& ScenarioRegistry::builtin() {
@@ -428,6 +489,8 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     r.add(idle_fleet_sla_burst());
     r.add(wake_storm());
     r.add(fig3_oscillation());
+    r.add(replay_azure_sample());
+    r.add(replay_mixed());
     return r;
   }();
   return registry;

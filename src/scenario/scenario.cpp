@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "metrics/reports.hpp"
+#include "replay/replay.hpp"
 #include "scenario/trace_cache.hpp"
 #include "util/rng.hpp"
 
@@ -31,6 +32,7 @@ const char* to_string(TraceKind k) {
     case TraceKind::RandomLlmi: return "random-llmi";
     case TraceKind::PhaseWindow: return "phase-window";
     case TraceKind::DutyCycle: return "duty-cycle";
+    case TraceKind::FileReplay: return "file-replay";
   }
   return "?";
 }
@@ -115,6 +117,11 @@ trace::ActivityTrace materialize(const TraceSpec& spec, std::uint64_t fallback_s
       return duty_cycle(spec.period_hours > 0 ? spec.period_hours : 24, spec.hour,
                         spec.span_hours > 0 ? spec.span_hours : 6, level_or(spec, 0.9),
                         spec.noise, spec.years, seed);
+    case TraceKind::FileReplay:
+      // No seed touches this path: the file *is* the workload, so two
+      // replicates of a replay scenario see identical traces by design.
+      return replay::select_column(*replay::load_replay_file(spec.path), spec.select,
+                                   spec.variant, spec.downsample);
   }
   throw std::invalid_argument("unknown TraceKind");
 }
@@ -160,6 +167,17 @@ std::string ScenarioSpec::validate() const {
     }
     if (g.workload.years == 0) {
       return name + ": VM group '" + g.name_prefix + "' has a zero-length workload";
+    }
+    if (g.workload.kind == TraceKind::FileReplay) {
+      if (g.workload.path.empty()) {
+        return name + ": file-replay group '" + g.name_prefix + "' needs a trace path";
+      }
+      if (g.workload.downsample < 1) {
+        return name + ": file-replay group '" + g.name_prefix + "' has downsample < 1";
+      }
+    } else if (!g.workload.path.empty() || !g.workload.select.empty()) {
+      return name + ": VM group '" + g.name_prefix +
+             "' sets path/select but is not file-replay";
     }
     if (!g.shared_workload && g.workload.kind == TraceKind::NutanixLike &&
         g.workload.seed != 0 && g.count > 5) {
@@ -215,9 +233,13 @@ std::unique_ptr<ScenarioRun> build(const ScenarioSpec& spec, Policy policy,
     for (int i = 0; i < g.count; ++i) {
       TraceSpec workload = g.workload;
       const int member = g.shared_workload ? 0 : i;
-      if (!g.shared_workload && workload.kind == TraceKind::NutanixLike) {
+      if (!g.shared_workload && (workload.kind == TraceKind::NutanixLike ||
+                                 (workload.kind == TraceKind::FileReplay &&
+                                  workload.select.empty()))) {
         // nutanix_like decorrelates by variant internally (seed + variant),
         // matching the nutanix_week catalogue when the seed stays fixed.
+        // FileReplay without an explicit column walks the file's columns
+        // the same way (wrapping at the column count).
         workload.variant += static_cast<std::size_t>(i);
       } else if (workload.seed != 0 && member > 0) {
         // Pinned workload: the group's first member keeps the base seed;

@@ -50,6 +50,7 @@ enum class TraceKind {
   RandomLlmi,      ///< randomized periodic LLMI template
   PhaseWindow,     ///< daily `span_hours` window starting at `hour` (Fig. 5)
   DutyCycle,       ///< active `span_hours` out of every `period_hours`
+  FileReplay,      ///< replay a column of a trace/csv file (src/replay)
 };
 
 [[nodiscard]] const char* to_string(TraceKind k);
@@ -63,10 +64,15 @@ struct TraceSpec {
   int hour = 2;             ///< window start (DailyBackup/PhaseWindow/DutyCycle)
   int span_hours = 0;       ///< window length; 0 = kind default
   int period_hours = 24;    ///< DutyCycle period
-  std::size_t variant = 0;  ///< NutanixLike template index (0-4)
+  std::size_t variant = 0;  ///< NutanixLike template / FileReplay column index
   /// Base seed.  0 means "derive from the run seed" (replicates differ);
   /// non-zero pins the workload across replicates (paper-fidelity mode).
+  /// FileReplay ignores seeds entirely — the file is the workload.
   std::uint64_t seed = 0;
+  // FileReplay-only knobs (ignored — and not serialized — otherwise).
+  std::string path{};    ///< trace/csv file; resolved via replay::resolve_trace_path
+  std::string select{};  ///< column name; "" = pick column `variant % ncols`
+  int downsample = 1;  ///< mean-pool every N hours into one (N >= 1)
 };
 
 /// Instantiate the recipe.  `fallback_seed` is used when `spec.seed == 0`.

@@ -1,14 +1,20 @@
 #include "scenario/trace_cache.hpp"
 
+#include "replay/replay.hpp"
+
 namespace drowsy::scenario {
 
 bool TraceKey::operator==(const TraceKey& other) const {
   const TraceSpec& a = spec;
   const TraceSpec& b = other.spec;
-  return seed == other.seed && a.kind == b.kind && a.years == b.years &&
-         a.noise == b.noise && a.level == b.level && a.hour == b.hour &&
-         a.span_hours == b.span_hours && a.period_hours == b.period_hours &&
-         a.variant == b.variant;
+  // Deliberately no `a.path == b.path`: for FileReplay the content hash
+  // *is* the file's identity, so one slice reached via two paths (say,
+  // relative and DROWSY_TRACE_ROOT-resolved) shares a single entry.
+  return seed == other.seed && content_hash == other.content_hash &&
+         a.kind == b.kind && a.years == b.years && a.noise == b.noise &&
+         a.level == b.level && a.hour == b.hour && a.span_hours == b.span_hours &&
+         a.period_hours == b.period_hours && a.variant == b.variant &&
+         a.select == b.select && a.downsample == b.downsample;
 }
 
 std::size_t TraceKeyHash::operator()(const TraceKey& key) const {
@@ -28,12 +34,25 @@ std::size_t TraceKeyHash::operator()(const TraceKey& key) const {
   h = mix_seed(h, static_cast<std::uint64_t>(key.spec.span_hours));
   h = mix_seed(h, static_cast<std::uint64_t>(key.spec.period_hours));
   h = mix_seed(h, key.spec.variant);
+  h = mix_seed(h, key.content_hash);
+  h = mix_seed(h, replay::content_hash(key.spec.select));
+  h = mix_seed(h, static_cast<std::uint64_t>(key.spec.downsample));
   return static_cast<std::size_t>(h);
 }
 
 std::shared_ptr<const trace::ActivityTrace> TraceCache::get(const TraceSpec& spec,
                                                             std::uint64_t fallback_seed) {
-  TraceKey key{spec, spec.seed != 0 ? spec.seed : fallback_seed};
+  TraceKey key{spec, spec.seed != 0 ? spec.seed : fallback_seed, 0};
+  std::shared_ptr<const replay::ReplayFile> file;
+  if (spec.kind == TraceKind::FileReplay) {
+    // Replay ignores seeds, so normalize them away — otherwise every VM's
+    // distinct fallback seed would be a guaranteed miss.  The file load
+    // happens *before* the lookup because the key is the content hash:
+    // editing the file between calls must land in the miss path.
+    key.seed = 0;
+    file = replay::load_replay_file(spec.path);
+    key.content_hash = file->hash;
+  }
   key.spec.seed = key.seed;  // normalize so pinned and fallback forms collide
 
   {
@@ -49,7 +68,9 @@ std::shared_ptr<const trace::ActivityTrace> TraceCache::get(const TraceSpec& spe
   // same key builds a duplicate, but the generators are deterministic so
   // both copies are identical; the loser's is discarded below.
   auto built = std::make_shared<const trace::ActivityTrace>(
-      materialize(key.spec, key.seed));
+      file ? replay::select_column(*file, key.spec.select, key.spec.variant,
+                                   key.spec.downsample)
+           : materialize(key.spec, key.seed));
 
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = entries_.try_emplace(key, std::move(built));

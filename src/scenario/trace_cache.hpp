@@ -27,9 +27,16 @@ namespace drowsy::scenario {
 
 /// Value-equality over every generator knob of a TraceSpec plus the
 /// effective seed (spec.seed when pinned, else the caller's fallback).
+///
+/// FileReplay specs are keyed by `content_hash` of the file's bytes —
+/// not by path — so the same slice reached via two paths shares one
+/// entry, and editing the file between get() calls is a miss rather
+/// than a stale hit.  Their seed is normalized to 0 (replay ignores
+/// seeds; per-member fallback seeds must not defeat the memo).
 struct TraceKey {
-  TraceSpec spec;              ///< spec with seed normalized to `seed`
-  std::uint64_t seed = 0;      ///< the seed materialize() will actually use
+  TraceSpec spec;                  ///< spec with seed normalized to `seed`
+  std::uint64_t seed = 0;          ///< the seed materialize() will actually use
+  std::uint64_t content_hash = 0;  ///< FileReplay: hash of file bytes; else 0
 
   [[nodiscard]] bool operator==(const TraceKey& other) const;
 };

@@ -30,9 +30,23 @@ void save_csv(const std::string& path, const std::vector<ActivityTrace>& traces)
   if (!f) throw std::runtime_error("write failed: " + path);
 }
 
+namespace {
+
+// Strip the artifacts real exporters leave behind: a UTF-8 BOM on the
+// first line and a trailing '\r' on every line (CRLF files).
+void scrub_line(std::string& line, bool first) {
+  if (first && line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' && line[2] == '\xBF') {
+    line.erase(0, 3);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
 std::vector<ActivityTrace> read_csv(std::istream& in) {
   std::string line;
   if (!std::getline(in, line)) throw std::runtime_error("empty CSV");
+  scrub_line(line, true);
   std::vector<std::string> names;
   {
     std::stringstream ss(line);
@@ -44,6 +58,7 @@ std::vector<ActivityTrace> read_csv(std::istream& in) {
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    scrub_line(line, false);
     if (line.empty()) continue;
     std::stringstream ss(line);
     std::string cell;

@@ -16,6 +16,8 @@ TEST(SpecIo, EveryTraceKindRoundTrips) {
     spec.kind = kind;
     spec.noise = 0.02;
     spec.seed = 12345678901234567890ull;  // exceeds double precision
+    // file-replay is the one kind whose spec is incomplete without a path.
+    if (kind == sc::TraceKind::FileReplay) spec.path = "traces/azure_sample.csv";
     const sc::TraceSpec back = ec::trace_spec_from_json(ec::to_json(spec));
     EXPECT_EQ(back.kind, kind);
     EXPECT_EQ(back.seed, spec.seed);
@@ -89,6 +91,64 @@ TEST(SpecIo, MalformedSpecsThrowWithContext) {
     FAIL() << "expected SpecError";
   } catch (const ec::SpecError& e) {
     EXPECT_NE(std::string(e.what()).find("vms[0]"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SpecIo, ReplayKnobsRoundTripAndStayBackCompatible) {
+  // New fields round-trip.
+  sc::TraceSpec spec;
+  spec.kind = sc::TraceKind::FileReplay;
+  spec.path = "traces/azure_sample.csv";
+  spec.select = "az-003";
+  spec.downsample = 4;
+  const sc::TraceSpec back = ec::trace_spec_from_json(ec::to_json(spec));
+  EXPECT_EQ(back.path, spec.path);
+  EXPECT_EQ(back.select, spec.select);
+  EXPECT_EQ(back.downsample, spec.downsample);
+
+  // Old-schema back-compat: a pre-replay workload object (no path/select/
+  // downsample keys) parses to the defaults.
+  const sc::TraceSpec old = ec::trace_spec_from_json(ec::Json::parse(
+      R"({"kind": "daily-backup", "hour": 2, "seed": 42})"));
+  EXPECT_EQ(old.path, "");
+  EXPECT_EQ(old.select, "");
+  EXPECT_EQ(old.downsample, 1);
+
+  // The reverse direction of back-compat: non-replay specs must not grow
+  // the new keys, or every pre-existing spec_hash fingerprint would move.
+  const std::string dump = ec::to_json(old).dump();
+  EXPECT_EQ(dump.find("\"path\""), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("\"select\""), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("\"downsample\""), std::string::npos) << dump;
+}
+
+TEST(SpecIo, ReplaySpecValidationErrors) {
+  // path without the file-replay kind.
+  EXPECT_THROW(static_cast<void>(ec::trace_spec_from_json(ec::Json::parse(
+                   R"({"kind": "daily-backup", "path": "x.csv"})"))),
+               ec::SpecError);
+  // file-replay without a path.
+  EXPECT_THROW(static_cast<void>(ec::trace_spec_from_json(
+                   ec::Json::parse(R"({"kind": "file-replay"})"))),
+               ec::SpecError);
+  // downsample below 1.
+  EXPECT_THROW(static_cast<void>(ec::trace_spec_from_json(ec::Json::parse(
+                   R"({"kind": "file-replay", "path": "x.csv", "downsample": 0})"))),
+               ec::SpecError);
+}
+
+TEST(SpecIo, UnknownTraceKindNamesKeyAndValidKinds) {
+  try {
+    static_cast<void>(ec::trace_spec_from_json(
+        ec::Json::parse(R"({"kind": "azure-replay"})")));
+    FAIL() << "expected SpecError";
+  } catch (const ec::SpecError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("workload.kind"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("azure-replay"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("known:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("file-replay"), std::string::npos)
+        << "valid-kind list must include the new kind: " << msg;
   }
 }
 

@@ -2,11 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
 
 namespace sc = drowsy::scenario;
 namespace sim = drowsy::sim;
+
+namespace {
+
+// The replay-* scenarios carry repo-relative trace paths; tests run from
+// the build tree, so resolve them against the source tree (the same knob
+// any out-of-repo run would use).  setenv's 0 keeps an explicit override.
+[[maybe_unused]] const int kTraceRootInit = [] {
+  ::setenv("DROWSY_TRACE_ROOT", DROWSY_SOURCE_DIR, 0);
+  return 0;
+}();
+
+}  // namespace
 
 TEST(ScenarioRegistry, BuiltinHasTheCatalogue) {
   const auto& reg = sc::ScenarioRegistry::builtin();

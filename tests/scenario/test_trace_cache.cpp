@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -10,6 +11,12 @@
 namespace sc = drowsy::scenario;
 
 namespace {
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(f) << path;
+  f << bytes;
+}
 
 sc::ScenarioSpec tiny_scenario(std::uint64_t seed) {
   sc::ScenarioSpec s;
@@ -107,6 +114,55 @@ TEST(TraceCache, BatchRunnerSharesTracesAcrossPolicyArms) {
   ASSERT_EQ(results.size(), 6u);
   EXPECT_EQ(runner.last_trace_misses(), 8u);  // 4 VMs x 2 seeds
   EXPECT_EQ(runner.last_trace_hits(), 16u);   // reused by 2 further policies
+}
+
+TEST(TraceCache, FileReplayIgnoresSeedsAndKeysByContent) {
+  const std::string path = ::testing::TempDir() + "/cache_replay.csv";
+  write_file(path, "a,b\n0.1,0.9\n0.2,0.8\n");
+  sc::TraceCache cache;
+  sc::TraceSpec spec;
+  spec.kind = sc::TraceKind::FileReplay;
+  spec.path = path;
+
+  // Distinct fallback seeds (one per VM in a group) must all hit the one
+  // entry: replay output is seed-independent.
+  const auto first = cache.get(spec, 1);
+  EXPECT_EQ(cache.get(spec, 2).get(), first.get());
+  EXPECT_EQ(cache.get(spec, 3).get(), first.get());
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // select / downsample are part of the identity.
+  sc::TraceSpec named = spec;
+  named.select = "b";
+  EXPECT_NE(cache.get(named, 1).get(), first.get());
+  sc::TraceSpec pooled = spec;
+  pooled.downsample = 2;
+  EXPECT_NE(cache.get(pooled, 1).get(), first.get());
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(TraceCache, SamePathChangedBytesIsAMiss) {
+  const std::string path = ::testing::TempDir() + "/cache_replay_edit.csv";
+  write_file(path, "a\n0.1\n0.2\n");
+  sc::TraceCache cache;
+  sc::TraceSpec spec;
+  spec.kind = sc::TraceKind::FileReplay;
+  spec.path = path;
+
+  const auto before = cache.get(spec, 1);
+  EXPECT_EQ(cache.misses(), 1u);
+  write_file(path, "a\n0.5\n0.6\n");
+  const auto after = cache.get(spec, 1);
+  EXPECT_EQ(cache.misses(), 2u) << "content hash must key the entry, not the path";
+  EXPECT_NE(after.get(), before.get());
+  EXPECT_DOUBLE_EQ(after->hours()[0], 0.5);
+  EXPECT_DOUBLE_EQ(before->hours()[0], 0.1) << "earlier handles keep the bytes they saw";
+
+  // Restoring the original bytes hits the original entry again.
+  write_file(path, "a\n0.1\n0.2\n");
+  EXPECT_EQ(cache.get(spec, 1).get(), before.get());
+  EXPECT_EQ(cache.hits(), 1u);
 }
 
 TEST(TraceCache, ConcurrentGetsAgree) {

@@ -46,6 +46,40 @@ TEST(TraceCsv, ExtraColumnThrows) {
   EXPECT_THROW((void)t::read_csv(ss), std::runtime_error);
 }
 
+TEST(TraceCsv, ToleratesCrlfLineEndings) {
+  std::stringstream ss("a,b\r\n0.1,0.9\r\n0.2,0.8\r\n");
+  const auto loaded = t::read_csv(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name(), "a");
+  EXPECT_EQ(loaded[1].name(), "b") << "no stray \\r on the last header cell";
+  ASSERT_EQ(loaded[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[1].hours()[1], 0.8) << "no stray \\r on the last data cell";
+}
+
+TEST(TraceCsv, ToleratesUtf8Bom) {
+  std::stringstream ss("\xEF\xBB\xBF" "a,b\n0.1,0.9\n");
+  const auto loaded = t::read_csv(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name(), "a") << "BOM must not glue onto the first column name";
+}
+
+TEST(TraceCsv, ToleratesTrailingBlankLines) {
+  std::stringstream ss("a\n0.1\n0.2\n\n\r\n\n");
+  const auto loaded = t::read_csv(ss);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].size(), 2u);
+}
+
+TEST(TraceCsv, ExportedFileWithAllThreeArtifactsRoundTrips) {
+  // A Windows-exported file: BOM + CRLF + trailing blanks, all at once.
+  std::stringstream ss("\xEF\xBB\xBF" "x,y\r\n0.25,0.75\r\n0.5,\r\n\r\n");
+  const auto loaded = t::read_csv(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].size(), 2u);
+  EXPECT_EQ(loaded[1].size(), 1u) << "empty trailing cell still pads, not parses";
+  EXPECT_DOUBLE_EQ(loaded[0].hours()[1], 0.5);
+}
+
 TEST(TraceCsv, FileRoundTrip) {
   std::vector<t::ActivityTrace> traces;
   traces.emplace_back(std::vector<double>{0.25, 0.75}, "file-test");

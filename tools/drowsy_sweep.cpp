@@ -139,8 +139,18 @@ struct LoadedSweep {
 LoadedSweep load_sweep(const std::string& path) {
   LoadedSweep loaded;
   loaded.bytes = ec::read_file(path);
-  const ec::Json doc = ec::Json::parse(loaded.bytes);
-  loaded.sweep = ec::sweep_from_json(doc, sc::ScenarioRegistry::builtin());
+  // Anchor every parse/spec failure at the file it came from: a bad
+  // trace kind three levels deep then reads
+  //   "bad.json: sweep.scenarios[0]: ... workload.kind: unknown trace
+  //    kind \"x\" (known: daily-backup, ...)".
+  try {
+    const ec::Json doc = ec::Json::parse(loaded.bytes);
+    loaded.sweep = ec::sweep_from_json(doc, sc::ScenarioRegistry::builtin());
+  } catch (const ec::SpecError& e) {
+    throw ec::SpecError(path + ": " + e.what());
+  } catch (const ec::JsonError& e) {
+    throw ec::SpecError(path + ": " + e.what());
+  }
   return loaded;
 }
 

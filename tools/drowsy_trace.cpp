@@ -1,0 +1,221 @@
+// drowsy_trace — raw cluster datasets in, replayable workloads out.
+//
+//   drowsy_trace convert <raw.csv> --format azure|google --out <trace.csv>
+//                [--manifest <m.json>]
+//       Fold raw readings (Azure-style per-VM CPU tables or Google-style
+//       task rows) into the hourly trace/csv column format that
+//       TraceKind::FileReplay consumes, and write a manifest JSON with
+//       per-VM SLMU/LLMU/LLMI classification.  Default manifest path:
+//       the --out path with its .csv suffix replaced by .manifest.json.
+//   drowsy_trace stats <trace.csv>
+//       Per-column digest of an already-converted trace file: hours,
+//       mean activity, idle fraction, VM class, plus population counts.
+//   drowsy_trace sample azure|google --out <raw.csv> [--vms N] [--days D]
+//                [--interval-s S] [--seed X]
+//       Deterministic raw sample slices in either dataset schema — the
+//       generator behind the checked-in traces/*.raw.csv fixtures, so CI
+//       can regenerate them byte-for-byte and catch drift.
+//
+// Determinism: convert and stats are pure functions of their input
+// bytes; sample is a pure function of its options.  The manifest is
+// dumped through expctl::Json, so its bytes are stable across runs and
+// platforms — CI diffs them against golden files.
+//
+// Full reference (formats, manifest schema, workflow): docs/replay.md.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expctl/json.hpp"
+#include "replay/dataset.hpp"
+#include "trace/csv.hpp"
+#include "trace/trace.hpp"
+
+namespace rp = drowsy::replay;
+namespace tr = drowsy::trace;
+using drowsy::expctl::Json;
+
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s convert <raw.csv> --format azure|google --out <trace.csv>"
+               " [--manifest <m.json>]\n"
+               "       %s stats <trace.csv>\n"
+               "       %s sample azure|google --out <raw.csv> [--vms N] [--days D]"
+               " [--interval-s S] [--seed X]\n",
+               argv0, argv0, argv0);
+}
+
+int usage(const char* argv0) {
+  print_usage(stderr, argv0);
+  return 2;
+}
+
+/// `--flag value` accessor: returns true and advances `i` when argv[i]
+/// matches `flag` and a value follows.
+bool flag_value(int argc, char** argv, int& i, const char* flag, std::string& out) {
+  if (std::strcmp(argv[i], flag) != 0) return false;
+  if (i + 1 >= argc) throw std::runtime_error(std::string(flag) + " needs a value");
+  out = argv[++i];
+  return true;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+std::string default_manifest_path(const std::string& out) {
+  const std::string suffix = ".csv";
+  if (out.size() > suffix.size() &&
+      out.compare(out.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return out.substr(0, out.size() - suffix.size()) + ".manifest.json";
+  }
+  return out + ".manifest.json";
+}
+
+Json manifest_json(const std::string& source, rp::DatasetFormat format,
+                   const std::vector<rp::ColumnSummary>& columns) {
+  const rp::ClassCounts counts = rp::count_classes(columns);
+  std::size_t hours_total = 0;
+  for (const rp::ColumnSummary& c : columns) hours_total += c.hours;
+
+  Json j = Json::object();
+  j.set("source", source);
+  j.set("format", rp::to_string(format));
+  j.set("vms", static_cast<std::uint64_t>(columns.size()));
+  j.set("hours_total", static_cast<std::uint64_t>(hours_total));
+  Json cc = Json::object();
+  cc.set("slmu", static_cast<std::uint64_t>(counts.slmu));
+  cc.set("llmu", static_cast<std::uint64_t>(counts.llmu));
+  cc.set("llmi", static_cast<std::uint64_t>(counts.llmi));
+  j.set("class_counts", std::move(cc));
+  Json cols = Json::array();
+  for (const rp::ColumnSummary& c : columns) {
+    Json col = Json::object();
+    col.set("name", c.name);
+    col.set("hours", static_cast<std::uint64_t>(c.hours));
+    col.set("mean_activity", c.mean_activity);
+    col.set("idle_fraction", c.idle_fraction);
+    col.set("class", tr::to_string(c.vm_class));
+    cols.push_back(std::move(col));
+  }
+  j.set("columns", std::move(cols));
+  return j;
+}
+
+void print_summary_table(const std::vector<rp::ColumnSummary>& columns) {
+  std::printf("%-16s %8s %14s %14s %6s\n", "vm", "hours", "mean_activity",
+              "idle_fraction", "class");
+  for (const rp::ColumnSummary& c : columns) {
+    std::printf("%-16s %8zu %14.4f %14.4f %6s\n", c.name.c_str(), c.hours,
+                c.mean_activity, c.idle_fraction, tr::to_string(c.vm_class));
+  }
+  const rp::ClassCounts counts = rp::count_classes(columns);
+  std::printf("\n%zu VM(s): %zu SLMU, %zu LLMU, %zu LLMI\n", columns.size(),
+              counts.slmu, counts.llmu, counts.llmi);
+}
+
+int cmd_convert(int argc, char** argv) {
+  std::string input, format_name, out_path, manifest_path;
+  for (int i = 2; i < argc; ++i) {
+    if (flag_value(argc, argv, i, "--format", format_name)) continue;
+    if (flag_value(argc, argv, i, "--out", out_path)) continue;
+    if (flag_value(argc, argv, i, "--manifest", manifest_path)) continue;
+    if (argv[i][0] == '-' || !input.empty()) return usage(argv[0]);
+    input = argv[i];
+  }
+  if (input.empty() || format_name.empty() || out_path.empty()) return usage(argv[0]);
+  const rp::DatasetFormat format = rp::dataset_format_from_string(format_name);
+  if (manifest_path.empty()) manifest_path = default_manifest_path(out_path);
+
+  std::ifstream in(input, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + input);
+  const std::vector<tr::ActivityTrace> traces = rp::fold_dataset(format, in);
+  tr::save_csv(out_path, traces);
+
+  const auto columns = rp::summarize_columns(traces);
+  write_file(manifest_path, manifest_json(input, format, columns).dump() + "\n");
+
+  const rp::ClassCounts counts = rp::count_classes(columns);
+  std::printf("%s: %zu VM(s) -> %s (%zu SLMU, %zu LLMU, %zu LLMI; manifest %s)\n",
+              input.c_str(), traces.size(), out_path.c_str(), counts.slmu, counts.llmu,
+              counts.llmi, manifest_path.c_str());
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc != 3) return usage(argv[0]);
+  const std::vector<tr::ActivityTrace> traces = tr::load_csv(argv[2]);
+  print_summary_table(rp::summarize_columns(traces));
+  return 0;
+}
+
+int cmd_sample(int argc, char** argv) {
+  std::string format_name, out_path, value;
+  rp::SampleOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    if (flag_value(argc, argv, i, "--out", out_path)) continue;
+    if (flag_value(argc, argv, i, "--vms", value)) {
+      opts.vms = std::stoi(value);
+      continue;
+    }
+    if (flag_value(argc, argv, i, "--days", value)) {
+      opts.days = std::stoi(value);
+      continue;
+    }
+    if (flag_value(argc, argv, i, "--interval-s", value)) {
+      opts.interval_s = std::stoi(value);
+      continue;
+    }
+    if (flag_value(argc, argv, i, "--seed", value)) {
+      opts.seed = std::stoull(value);
+      continue;
+    }
+    if (argv[i][0] == '-' || !format_name.empty()) return usage(argv[0]);
+    format_name = argv[i];
+  }
+  if (format_name.empty() || out_path.empty()) return usage(argv[0]);
+  if (opts.vms <= 0 || opts.days <= 0 || opts.interval_s <= 0) {
+    throw std::runtime_error("--vms, --days and --interval-s must be positive");
+  }
+  const rp::DatasetFormat format = rp::dataset_format_from_string(format_name);
+
+  std::ostringstream out;
+  if (format == rp::DatasetFormat::AzureVm) {
+    rp::write_azure_sample(out, opts);
+  } else {
+    rp::write_google_sample(out, opts);
+  }
+  write_file(out_path, out.str());
+  std::printf("%s sample: %d VM(s) x %d day(s), seed %llu -> %s\n",
+              rp::to_string(format), opts.vms, opts.days,
+              static_cast<unsigned long long>(opts.seed), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_usage(stdout, argv[0]);
+    return 0;
+  }
+  try {
+    if (command == "convert") return cmd_convert(argc, argv);
+    if (command == "stats") return cmd_stats(argc, argv);
+    if (command == "sample") return cmd_sample(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}
