@@ -1,0 +1,136 @@
+// micro_sim_throughput — the simulator's raw speed, measured at the two
+// grains the ROADMAP's scale item cares about:
+//
+//   events/sec  raw EventQueue dispatch: a scatter of no-op events with
+//               shuffled deadlines, so the number is dominated by heap
+//               push/pop and not by callback work.
+//   runs/sec    full run_one() over a registry scenario (netsim-failover:
+//               one simulated day plus pretraining, heartbeats and the
+//               wake fabric in the loop) — the unit the BatchRunner and
+//               the shard daemons parallelize.
+//
+// Unlike the other micro_* benches this is self-timed (steady_clock, no
+// Google Benchmark dependency): its numbers feed BENCH_sim.json, the
+// checked-in baseline that CI diffs against (warn-only).  Peak RSS rides
+// along via getrusage so memory regressions show up in the same record.
+//
+//   micro_sim_throughput [--events N] [--runs N] [--bench-json F]
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "expctl/json.hpp"
+#include "scenario/batch_runner.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Dispatch `count` no-op events whose deadlines are scattered by a
+/// seeded RNG: the heap stays deep (batches of 4096 pending), so this
+/// measures ordering cost, not an always-empty queue's fast path.
+double event_phase(std::size_t count) {
+  drowsy::sim::EventQueue queue;
+  drowsy::util::Rng rng(12345);
+  volatile std::size_t sink = 0;  // keep the callbacks from folding away
+  const auto start = Clock::now();
+  std::size_t scheduled = 0;
+  while (scheduled < count) {
+    const std::size_t batch = std::min<std::size_t>(4096, count - scheduled);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto delay = static_cast<drowsy::util::SimTime>(rng.uniform(0.0, 1000.0));
+      queue.schedule_after(delay, [&sink] { sink = sink + 1; });
+    }
+    queue.run_all();
+    scheduled += batch;
+  }
+  return seconds_since(start);
+}
+
+/// Peak resident set in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t event_count = 2'000'000;
+  std::size_t run_count = 3;
+  std::string bench_json;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--events") == 0) {
+      event_count = static_cast<std::size_t>(std::atoll(value("--events")));
+    } else if (std::strcmp(argv[i], "--runs") == 0) {
+      run_count = static_cast<std::size_t>(std::atoll(value("--runs")));
+    } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+      bench_json = value("--bench-json");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--events N] [--runs N] [--bench-json F]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const double event_wall_s = event_phase(event_count);
+  const double events_per_sec =
+      event_wall_s > 0.0 ? static_cast<double>(event_count) / event_wall_s : 0.0;
+  std::printf("events: %zu in %.3f s  (%.0f events/s)\n", event_count, event_wall_s,
+              events_per_sec);
+
+  namespace sc = drowsy::scenario;
+  const char* scenario_name = "netsim-failover";
+  const sc::ScenarioSpec& spec = sc::ScenarioRegistry::builtin().at(scenario_name);
+  const auto runs_start = Clock::now();
+  std::uint64_t requests = 0;
+  for (std::size_t r = 0; r < run_count; ++r) {
+    const sc::RunResult result =
+        sc::run_one(spec, sc::Policy::DrowsyDc, sc::mix_seed(spec.seed, r));
+    requests += result.requests;
+  }
+  const double run_wall_s = seconds_since(runs_start);
+  const double runs_per_sec =
+      run_wall_s > 0.0 ? static_cast<double>(run_count) / run_wall_s : 0.0;
+  std::printf("runs:   %zu x %s in %.3f s  (%.2f runs/s, %llu requests)\n", run_count,
+              scenario_name, run_wall_s, runs_per_sec,
+              static_cast<unsigned long long>(requests));
+
+  const double rss_mb = peak_rss_mb();
+  std::printf("peak RSS: %.1f MiB\n", rss_mb);
+
+  if (!bench_json.empty()) {
+    drowsy::expctl::Json j = drowsy::expctl::Json::object();
+    j.set("bench", "micro_sim_throughput");
+    j.set("events", static_cast<std::uint64_t>(event_count));
+    j.set("event_wall_s", event_wall_s);
+    j.set("events_per_sec", events_per_sec);
+    j.set("scenario", scenario_name);
+    j.set("runs", static_cast<std::uint64_t>(run_count));
+    j.set("run_wall_s", run_wall_s);
+    j.set("runs_per_sec", runs_per_sec);
+    j.set("peak_rss_mb", rss_mb);
+    if (!sc::write_file(bench_json, j.dump())) return 1;
+  }
+  return 0;
+}

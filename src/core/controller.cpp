@@ -61,7 +61,7 @@ void Controller::install() {
     module->set_waking_module(waking_primary_.get());
     host->set_quick_resume(options_.quick_resume);
     SuspendModule* raw = module.get();
-    host->set_on_wake([this, raw, h = host.get()] {
+    host->add_on_wake([this, raw, h = host.get()] {
       raw->on_host_wake();
       waking_primary_->on_host_resumed(*h);
     });

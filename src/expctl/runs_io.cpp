@@ -62,6 +62,9 @@ Json to_json(const scenario::RunResult& result) {
   Json hosts = Json::array();
   for (const double f : result.host_suspend_fraction) hosts.push_back(f);
   j.set("host_suspend_fraction", std::move(hosts));
+  j.set("switch_queue_delay_p99_ms", result.switch_queue_delay_p99_ms);
+  j.set("wol_frames", result.wol_frames);
+  j.set("host_unreachable_s", result.host_unreachable_s);
   return j;
 }
 
@@ -94,7 +97,8 @@ scenario::RunResult run_result_from_json(const Json& j) {
   check_keys(j, "run result",
              {"scenario", "policy", "seed", "simulated_hours", "kwh", "suspend_fraction",
               "sla_attainment", "wake_latency_p99_ms", "requests", "wakes", "migrations",
-              "suspends", "host_suspend_fraction"});
+              "suspends", "host_suspend_fraction", "switch_queue_delay_p99_ms",
+              "wol_frames", "host_unreachable_s"});
   scenario::RunResult r;
   r.scenario = field(j, "scenario", [](const Json& v) { return v.as_string(); });
   r.policy = field(j, "policy", [](const Json& v) { return v.as_string(); });
@@ -120,6 +124,18 @@ scenario::RunResult run_result_from_json(const Json& j) {
     } catch (const JsonError& e) {
       throw SpecError(std::string("run result host_suspend_fraction: ") + e.what());
     }
+  }
+  // Optional wake-fabric metrics (PR 7): same back-compat rule.
+  try {
+    if (const Json* v = j.find("switch_queue_delay_p99_ms")) {
+      r.switch_queue_delay_p99_ms = v->as_double();
+    }
+    if (const Json* v = j.find("wol_frames")) r.wol_frames = v->as_uint();
+    if (const Json* v = j.find("host_unreachable_s")) {
+      r.host_unreachable_s = v->as_double();
+    }
+  } catch (const JsonError& e) {
+    throw SpecError(std::string("run result wake-fabric metrics: ") + e.what());
   }
   return r;
 }

@@ -27,7 +27,7 @@ const std::vector<sc::TraceKind>& all_trace_kinds() {
 const std::vector<sc::Policy>& all_policies() {
   static const std::vector<sc::Policy> policies = {
       sc::Policy::DrowsyDc,     sc::Policy::NeatS3, sc::Policy::NeatVanilla,
-      sc::Policy::NeatNoSuspend, sc::Policy::Oasis,
+      sc::Policy::NeatNoSuspend, sc::Policy::Oasis, sc::Policy::DrowsyNetBatch,
   };
   return policies;
 }
@@ -277,6 +277,25 @@ Json to_json(const sc::ScenarioSpec& spec) {
   j.set("suspend_check_interval_ms", spec.suspend_check_interval);
   j.set("grace_min_ms", spec.grace_min);
   j.set("grace_max_ms", spec.grace_max);
+  // The wake-fabric object is emitted only when some knob is set — the
+  // TraceSpec replay-knob precedent: every pre-netsim spec keeps its exact
+  // dump bytes, so spec_hash fingerprints survive this schema extension.
+  if (!(spec.net == sc::NetSpec{})) {
+    Json net = Json::object();
+    net.set("enabled", spec.net.enabled);
+    net.set("port_latency_ms", spec.net.port_latency);
+    net.set("serialization_ms", spec.net.serialization);
+    net.set("heartbeat", spec.net.heartbeat);
+    net.set("hb_interval_ms", spec.net.hb_interval);
+    net.set("hb_miss_threshold", spec.net.hb_miss_threshold);
+    net.set("nic_fail_host", spec.net.nic_fail_host);
+    net.set("nic_fail_hour", spec.net.nic_fail_hour);
+    net.set("nic_recover_hour", spec.net.nic_recover_hour);
+    net.set("wake_max_in_flight", spec.net.wake_max_in_flight);
+    net.set("wake_stagger_ms", spec.net.wake_stagger);
+    net.set("wake_admission_window_ms", spec.net.wake_admission_window);
+    j.set("net", std::move(net));
+  }
   return j;
 }
 
@@ -288,7 +307,7 @@ sc::ScenarioSpec scenario_spec_from_json(const Json& j) {
               "host_first_index", "host_template", "power", "vms", "pretrain_days",
               "duration_days", "request_rate_per_hour", "seed", "relocate_all",
               "quick_resume", "opportunistic_step", "suspend_check_interval_ms",
-              "grace_min_ms", "grace_max_ms"});
+              "grace_min_ms", "grace_max_ms", "net"});
   sc::ScenarioSpec spec;
   spec.name = get_string(j, "name", spec.name, path);
   const std::string where = spec.name.empty() ? path : "scenario " + spec.name;
@@ -355,6 +374,41 @@ sc::ScenarioSpec scenario_spec_from_json(const Json& j) {
                                                 spec.suspend_check_interval, where);
   spec.grace_min = get_duration_ms(j, "grace_min_ms", spec.grace_min, where);
   spec.grace_max = get_duration_ms(j, "grace_max_ms", spec.grace_max, where);
+
+  if (const Json* net = j.find("net")) {
+    const std::string net_path = where + ".net";
+    require_object(*net, net_path);
+    check_keys(*net, net_path,
+               {"enabled", "port_latency_ms", "serialization_ms", "heartbeat",
+                "hb_interval_ms", "hb_miss_threshold", "nic_fail_host", "nic_fail_hour",
+                "nic_recover_hour", "wake_max_in_flight", "wake_stagger_ms",
+                "wake_admission_window_ms"});
+    spec.net.enabled = get_bool(*net, "enabled", spec.net.enabled, net_path);
+    spec.net.port_latency =
+        get_duration_ms(*net, "port_latency_ms", spec.net.port_latency, net_path);
+    spec.net.serialization =
+        get_duration_ms(*net, "serialization_ms", spec.net.serialization, net_path);
+    spec.net.heartbeat = get_bool(*net, "heartbeat", spec.net.heartbeat, net_path);
+    spec.net.hb_interval =
+        get_duration_ms(*net, "hb_interval_ms", spec.net.hb_interval, net_path);
+    spec.net.hb_miss_threshold =
+        get_int(*net, "hb_miss_threshold", spec.net.hb_miss_threshold, net_path);
+    spec.net.nic_fail_host = get_int(*net, "nic_fail_host", spec.net.nic_fail_host, net_path);
+    spec.net.nic_fail_hour = at_path(net_path + ".nic_fail_hour", [&] {
+      const Json* v = net->find("nic_fail_hour");
+      return v == nullptr ? spec.net.nic_fail_hour : v->as_int();
+    });
+    spec.net.nic_recover_hour = at_path(net_path + ".nic_recover_hour", [&] {
+      const Json* v = net->find("nic_recover_hour");
+      return v == nullptr ? spec.net.nic_recover_hour : v->as_int();
+    });
+    spec.net.wake_max_in_flight =
+        get_int(*net, "wake_max_in_flight", spec.net.wake_max_in_flight, net_path);
+    spec.net.wake_stagger =
+        get_duration_ms(*net, "wake_stagger_ms", spec.net.wake_stagger, net_path);
+    spec.net.wake_admission_window = get_duration_ms(
+        *net, "wake_admission_window_ms", spec.net.wake_admission_window, net_path);
+  }
 
   if (std::string problem = spec.validate(); !problem.empty()) {
     throw SpecError("invalid scenario: " + problem);

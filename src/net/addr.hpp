@@ -56,6 +56,10 @@ struct Packet {
   MacAddress dst_mac{};      ///< used by WoL frames (L2-addressed)
   std::uint32_t size_bytes = 1500;
   std::uint64_t id = 0;      ///< monotonically assigned by the sender
+  /// Simulated injection instant (ms), stamped by the switch on first
+  /// inject; < 0 means unsent.  Receivers measure client-perceived
+  /// latency from here, so switch queueing counts against the SLA.
+  std::int64_t sent_at = -1;
 };
 
 }  // namespace drowsy::net

@@ -32,22 +32,24 @@ void SdnSwitch::add_analyzer(PacketAnalyzer analyzer) {
 }
 
 bool SdnSwitch::inject(const Packet& packet) {
+  Packet stamped = packet;
+  if (stamped.sent_at < 0) stamped.sent_at = dispatcher_.now();
   for (const auto& analyzer : analyzers_) {
-    if (analyzer(packet) == AnalyzerVerdict::Drop) {
+    if (analyzer(stamped) == AnalyzerVerdict::Drop) {
       ++dropped_;
       return false;
     }
   }
-  if (packet.kind == PacketKind::WakeOnLan) {
-    return deliver_to_mac(packet.dst_mac, packet);
+  if (stamped.kind == PacketKind::WakeOnLan) {
+    return deliver_to_mac(stamped.dst_mac, stamped);
   }
-  auto it = forwarding_.find(packet.dst);
+  auto it = forwarding_.find(stamped.dst);
   if (it == forwarding_.end()) {
     ++dropped_;
-    DROWSY_LOG_DEBUG("sdn", "no route for %s", packet.dst.to_string().c_str());
+    DROWSY_LOG_DEBUG("sdn", "no route for %s", stamped.dst.to_string().c_str());
     return false;
   }
-  return deliver_to_mac(it->second, packet);
+  return deliver_to_mac(it->second, stamped);
 }
 
 bool SdnSwitch::deliver_to_mac(const MacAddress& mac, const Packet& packet) {

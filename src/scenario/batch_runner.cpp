@@ -131,14 +131,17 @@ std::string host_fractions_cell(const RunResult& r) {
 std::string to_csv(const std::vector<RunResult>& results) {
   std::string out =
       "scenario,policy,seed,simulated_hours,kwh,suspend_fraction,sla_attainment,"
-      "wake_p99_ms,requests,wakes,migrations,suspends,host_suspend_fractions\n";
+      "wake_p99_ms,requests,wakes,migrations,suspends,host_suspend_fractions,"
+      "switch_queue_delay_p99_ms,wol_frames,host_unreachable_s\n";
   for (const RunResult& r : results) {
     out += r.scenario + "," + r.policy + "," + std::to_string(r.seed) + "," +
            std::to_string(r.simulated_hours) + "," + num(r.kwh) + "," +
            num(r.suspend_fraction) + "," + num(r.sla_attainment) + "," +
            num(r.wake_latency_p99_ms) + "," + std::to_string(r.requests) + "," +
            std::to_string(r.wakes) + "," + std::to_string(r.migrations) + "," +
-           std::to_string(r.suspends) + "," + host_fractions_cell(r) + "\n";
+           std::to_string(r.suspends) + "," + host_fractions_cell(r) + "," +
+           num(r.switch_queue_delay_p99_ms) + "," + std::to_string(r.wol_frames) +
+           "," + num(r.host_unreachable_s) + "\n";
   }
   return out;
 }
@@ -176,7 +179,9 @@ std::string to_json(const std::vector<RunResult>& results) {
     for (std::size_t h = 0; h < r.host_suspend_fraction.size(); ++h) {
       out += (h > 0 ? ", " : "") + num(r.host_suspend_fraction[h]);
     }
-    out += "]}";
+    out += "], \"switch_queue_delay_p99_ms\": " + num(r.switch_queue_delay_p99_ms) +
+           ", \"wol_frames\": " + std::to_string(r.wol_frames) +
+           ", \"host_unreachable_s\": " + num(r.host_unreachable_s) + "}";
     out += i + 1 < results.size() ? ",\n" : "\n";
   }
   out += "]\n";

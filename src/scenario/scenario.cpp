@@ -44,6 +44,7 @@ const char* to_string(Policy p) {
     case Policy::NeatVanilla: return "neat";
     case Policy::NeatNoSuspend: return "neat-nosleep";
     case Policy::Oasis: return "oasis";
+    case Policy::DrowsyNetBatch: return "drowsy-netbatch";
   }
   return "?";
 }
@@ -160,6 +161,32 @@ std::string ScenarioSpec::validate() const {
   if (suspend_check_interval <= 0) return name + ": suspend check interval must be positive";
   if (grace_min <= 0) return name + ": grace_min must be positive";
   if (grace_max < grace_min) return name + ": grace_max must be >= grace_min";
+  if (net.port_latency < 0) return name + ": net.port_latency must be >= 0";
+  if (net.serialization < 0) return name + ": net.serialization must be >= 0";
+  if (net.hb_interval <= 0) return name + ": net.hb_interval must be positive";
+  if (net.hb_miss_threshold < 1) return name + ": net.hb_miss_threshold must be >= 1";
+  if (net.nic_fail_host >= hosts) {
+    return name + ": net.nic_fail_host beyond the fleet";
+  }
+  if (net.nic_fail_host >= 0 && !net.heartbeat) {
+    return name + ": NIC fault injection needs net.heartbeat (nothing would"
+           " ever notice the partition)";
+  }
+  if (net.nic_fail_host >= 0 && net.nic_fail_hour < 0) {
+    return name + ": net.nic_fail_host needs a net.nic_fail_hour";
+  }
+  if (net.nic_recover_hour >= 0 && net.nic_recover_hour <= net.nic_fail_hour) {
+    return name + ": net.nic_recover_hour must come after net.nic_fail_hour";
+  }
+  if ((net.heartbeat || net.nic_fail_host >= 0) && !net.enabled) {
+    return name + ": heartbeat/fault knobs need net.enabled";
+  }
+  if (net.wake_max_in_flight < 1) {
+    return name + ": net.wake_max_in_flight must be >= 1";
+  }
+  if (net.wake_stagger < 0 || net.wake_admission_window < 0) {
+    return name + ": net wake stagger/admission window must be >= 0";
+  }
   for (const VmGroup& g : vms) {
     if (g.count <= 0) return name + ": VM group '" + g.name_prefix + "' has count <= 0";
     if (g.vcpus <= 0 || g.memory_mb <= 0) {
@@ -218,7 +245,7 @@ std::unique_ptr<ScenarioRun> build(const ScenarioSpec& spec, Policy policy,
 
   sim::ClusterConfig cluster_config;
   cluster_config.power = spec.power;
-  auto run = std::make_unique<ScenarioRun>(cluster_config);
+  auto run = std::make_unique<ScenarioRun>(cluster_config, spec.net);
   run->policy = policy;
   run->seed = seed;
 
@@ -279,7 +306,10 @@ std::unique_ptr<ScenarioRun> build(const ScenarioSpec& spec, Policy policy,
   opts.requests.base_rate_per_hour = spec.request_rate_per_hour;
   opts.requests.seed = mix_seed(seed, 0xF00DULL);
   opts.quick_resume = spec.quick_resume;
-  opts.relocate_all = spec.relocate_all && policy == Policy::DrowsyDc;
+  // DrowsyNetBatch is Drowsy-DC placement/suspension plus the netsim
+  // staggered pre-wake planner, so it inherits every Drowsy-DC flag.
+  const bool drowsy_like = policy == Policy::DrowsyDc || policy == Policy::DrowsyNetBatch;
+  opts.relocate_all = spec.relocate_all && drowsy_like;
   opts.drowsy.suspend.check_interval = spec.suspend_check_interval;
   opts.drowsy.suspend.grace_min = spec.grace_min;
   opts.drowsy.suspend.grace_max = spec.grace_max;
@@ -288,11 +318,12 @@ std::unique_ptr<ScenarioRun> build(const ScenarioSpec& spec, Policy policy,
   // that suspends uses "the exact same algorithm as Drowsy-DC, the grace
   // time excepted"; vanilla Neat only powers down *empty* hosts.
   opts.drowsy.suspend.enabled = policy != Policy::NeatNoSuspend;
-  opts.drowsy.suspend.use_grace_time = policy == Policy::DrowsyDc;
+  opts.drowsy.suspend.use_grace_time = drowsy_like;
   opts.drowsy.suspend.only_empty_hosts = policy == Policy::NeatVanilla;
 
   switch (policy) {
     case Policy::DrowsyDc:
+    case Policy::DrowsyNetBatch:
       break;
     case Policy::NeatS3:
     case Policy::NeatVanilla:
@@ -310,6 +341,38 @@ std::unique_ptr<ScenarioRun> build(const ScenarioSpec& spec, Policy policy,
   run->controller = std::make_unique<core::Controller>(run->cluster, run->sdn, opts);
   if (run->baseline) run->controller->set_policy(run->baseline.get());
   run->controller->install();
+
+  // The wake fabric rides on top of the installed deployment: its drop
+  // analyzer must run after the waking module's (the real switch gives
+  // the waking module first look), and its wake observer chains onto the
+  // suspend checker's hook.
+  if (spec.net.enabled || policy == Policy::DrowsyNetBatch) {
+    netsim::FabricConfig fc;
+    fc.heartbeat = spec.net.heartbeat;
+    fc.hb_interval = spec.net.hb_interval;
+    fc.hb_miss_threshold = spec.net.hb_miss_threshold;
+    fc.nic_fail_host = spec.net.nic_fail_host;
+    fc.nic_fail_hour = spec.net.nic_fail_hour;
+    fc.nic_recover_hour = spec.net.nic_recover_hour;
+    fc.planner = policy == Policy::DrowsyNetBatch;
+    fc.wake_max_in_flight = spec.net.wake_max_in_flight;
+    fc.wake_stagger = spec.net.wake_stagger;
+    fc.wake_admission_window = spec.net.wake_admission_window;
+    run->net = std::make_unique<netsim::WakeFabric>(run->cluster, run->sdn, fc);
+    if (fc.planner) {
+      // Pre-wake when any resident VM's idleness model leans active for
+      // the coming hour (negative raw IP, the §III convention).
+      run->net->set_activity_predictor(
+          [ctl = run->controller.get()](const sim::Host& host, std::int64_t hour) {
+            const util::CalendarTime c = util::calendar_of(hour * util::kMsPerHour);
+            for (const sim::Vm* vm : host.vms()) {
+              if (ctl->models().vm_ip(vm->id(), c).raw < 0.0) return true;
+            }
+            return false;
+          });
+    }
+    run->net->install();
+  }
   return run;
 }
 
@@ -343,6 +406,20 @@ RunResult harvest(const std::string& scenario_name, ScenarioRun& run) {
       metrics::suspend_fractions(r.policy, run.cluster, all_hosts, 0);
   r.suspend_fraction = fractions.global;
   r.host_suspend_fraction = std::move(fractions.per_host);
+
+  // Wake-fabric metrics.  WoL frames count every magic packet injected:
+  // the waking modules' (packet- and schedule-triggered) plus the
+  // fabric's own (planner pre-wakes, recovery retransmits).
+  r.switch_queue_delay_p99_ms = run.dispatcher.queue_delay_p99_ms();
+  const core::WakingStats& wp = run.controller->waking_primary().stats();
+  r.wol_frames = wp.packet_wakes + wp.scheduled_wakes;
+  if (const core::WakingModule* standby = run.controller->waking_standby()) {
+    r.wol_frames += standby->stats().packet_wakes + standby->stats().scheduled_wakes;
+  }
+  if (run.net) {
+    r.wol_frames += run.net->wol_frames();
+    r.host_unreachable_s = run.net->host_unreachable_s();
+  }
   return r;
 }
 
@@ -351,8 +428,13 @@ RunResult run_one(const ScenarioSpec& spec, Policy policy, std::uint64_t seed,
   std::unique_ptr<ScenarioRun> run = build(spec, policy, seed, trace_cache);
   run->controller->pretrain_models(static_cast<std::int64_t>(spec.pretrain_days) *
                                    util::kHoursPerDay);
+  std::function<void(std::int64_t)> on_hour_end;
+  if (run->net) {
+    on_hour_end = [fabric = run->net.get()](std::int64_t h) { fabric->on_hour_end(h); };
+  }
   run->controller->run_hours(static_cast<std::int64_t>(spec.duration_days) *
-                             util::kHoursPerDay);
+                                 util::kHoursPerDay,
+                             on_hour_end);
   return harvest(spec.name, *run);
 }
 

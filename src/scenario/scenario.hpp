@@ -26,6 +26,8 @@
 #include "baselines/oasis.hpp"
 #include "core/drowsy.hpp"
 #include "net/sdn_switch.hpp"
+#include "netsim/dispatcher.hpp"
+#include "netsim/wake_fabric.hpp"
 #include "sim/cluster.hpp"
 #include "trace/generators.hpp"
 #include "util/sim_time.hpp"
@@ -95,6 +97,31 @@ struct VmGroup {
 
 // --- the scenario ------------------------------------------------------------
 
+/// Network-in-the-loop wake-fabric knobs (src/netsim).  Default-valued
+/// specs serialize *without* a "net" object, so every pre-existing sweep
+/// JSON and spec hash stays byte-identical (the PR 6 TraceSpec precedent).
+struct NetSpec {
+  /// Route wakes through the modeled switch (port latency + serialization)
+  /// instead of the fiat-constant path.
+  bool enabled = false;
+  util::SimTime port_latency = 1;   ///< per-frame propagation, ms
+  util::SimTime serialization = 0;  ///< switch egress occupancy per frame, ms
+  // Heartbeat reachability tracking.
+  bool heartbeat = false;
+  util::SimTime hb_interval = util::seconds(5);
+  int hb_miss_threshold = 3;
+  // Declarative NIC fault injection; -1 disables.
+  int nic_fail_host = -1;
+  std::int64_t nic_fail_hour = -1;
+  std::int64_t nic_recover_hour = -1;
+  // DrowsyNetBatch staggered-wake admission knobs.
+  int wake_max_in_flight = 2;
+  util::SimTime wake_stagger = 200;
+  util::SimTime wake_admission_window = util::seconds(5);
+
+  [[nodiscard]] bool operator==(const NetSpec&) const = default;
+};
+
 /// Consolidation policy selection for a run.
 enum class Policy {
   DrowsyDc,       ///< idleness-aware relocation + suspension + grace time
@@ -102,6 +129,7 @@ enum class Policy {
   NeatVanilla,    ///< Neat placement, only *empty* hosts suspend
   NeatNoSuspend,  ///< Neat placement, hosts never sleep (power baseline)
   Oasis,          ///< pairwise idleness matching (EuroSys '16)
+  DrowsyNetBatch, ///< Drowsy-DC + model-driven staggered pre-wakes (netsim)
 };
 
 [[nodiscard]] const char* to_string(Policy p);
@@ -142,6 +170,9 @@ struct ScenarioSpec {
   util::SimTime grace_min = util::seconds(5);
   util::SimTime grace_max = util::minutes(2);
 
+  /// Wake-fabric knobs; all-default = the historical fiat-wake behavior.
+  NetSpec net{};
+
   [[nodiscard]] int total_vms() const;
 
   /// Structural check: returns "" when the spec is sound, else a
@@ -155,14 +186,20 @@ struct ScenarioSpec {
 struct ScenarioRun {
   sim::EventQueue queue;
   sim::Cluster cluster;
+  /// Switch egress pipe; exact passthrough when the spec has no net knobs,
+  /// so fiat-wake runs keep their historical event ordering bit-for-bit.
+  netsim::EventQueueDispatcher dispatcher;
   net::SdnSwitch sdn;
+  std::unique_ptr<netsim::WakeFabric> net;  ///< null without a wake fabric
   std::unique_ptr<core::ConsolidationPolicy> baseline;  ///< null = Drowsy-DC
   std::unique_ptr<core::Controller> controller;
   Policy policy;
   std::uint64_t seed = 0;
 
-  explicit ScenarioRun(sim::ClusterConfig config)
-      : cluster(queue, std::move(config)), sdn(queue) {}
+  explicit ScenarioRun(sim::ClusterConfig config, const NetSpec& net_spec = {})
+      : cluster(queue, std::move(config)),
+        dispatcher(queue, net_spec.enabled ? net_spec.serialization : 0),
+        sdn(dispatcher, net_spec.enabled ? net_spec.port_latency : 0) {}
 };
 
 class TraceCache;  // scenario/trace_cache.hpp
@@ -200,6 +237,11 @@ struct RunResult {
   /// per-host rows).  Journal rows written before this field existed
   /// parse with it empty.
   std::vector<double> host_suspend_fraction;
+  // Wake-fabric metrics (PR 7).  Zero for fiat-wake runs; journal rows
+  // written before these fields existed parse with them zero.
+  double switch_queue_delay_p99_ms = 0.0;  ///< p99 frame wait at the switch
+  std::uint64_t wol_frames = 0;            ///< WoL magic packets injected
+  double host_unreachable_s = 0.0;         ///< host-seconds lost to partitions
 };
 
 /// Collect a RunResult from a finished deployment.

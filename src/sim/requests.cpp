@@ -62,7 +62,11 @@ void RequestFabric::deliver(HostId host_id, const net::Packet& packet) {
     ++stats_.lost;  // stale forwarding entry: VM migrated away
     return;
   }
-  const util::SimTime arrival = cluster_.queue().now();
+  // Latency clock: the client sent the frame at sent_at, so switch
+  // traversal (port latency, queueing) counts.  A zero-latency fabric
+  // delivers in the same millisecond, leaving legacy runs untouched.
+  const util::SimTime arrival =
+      packet.sent_at >= 0 ? packet.sent_at : cluster_.queue().now();
   const bool asleep = host->state() != PowerState::S0;
   host->when_awake([this, arrival, asleep] { complete(arrival, asleep); });
 }

@@ -87,7 +87,7 @@ TEST_F(WakingFixture, WolDeduplicatedWhileResuming) {
 TEST_F(WakingFixture, PendingGuardClearsAfterResume) {
   c::WakingModule module(cluster, sw, {}, "waking", true);
   module.install_analyzer();
-  host->set_on_wake([&] { module.on_host_resumed(*host); });
+  host->add_on_wake([&] { module.on_host_resumed(*host); });
   suspend_host(module);
   sw.inject(request());
   q.run_all();

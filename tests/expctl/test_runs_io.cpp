@@ -27,6 +27,9 @@ sc::RunResult sample_result() {
   r.migrations = -3;  // int fields round-trip signed values too
   r.suspends = 42;
   r.host_suspend_fraction = {0.0, 0.987654321987654321, 1.0 / 7.0};
+  r.switch_queue_delay_p99_ms = 5.0000001;
+  r.wol_frames = 27;
+  r.host_unreachable_s = 21585.001;
   return r;
 }
 
@@ -68,8 +71,32 @@ TEST(RunsIo, RunResultRoundTripsExactly) {
   EXPECT_EQ(back.migrations, r.migrations);
   EXPECT_EQ(back.suspends, r.suspends);
   EXPECT_EQ(back.host_suspend_fraction, r.host_suspend_fraction);  // bit-exact
+  EXPECT_EQ(back.switch_queue_delay_p99_ms, r.switch_queue_delay_p99_ms);
+  EXPECT_EQ(back.wol_frames, r.wol_frames);
+  EXPECT_EQ(back.host_unreachable_s, r.host_unreachable_s);
   // Dump byte-stability through a second cycle.
   EXPECT_EQ(ec::to_json(back).dump(), j.dump());
+}
+
+TEST(RunsIo, WakeFabricMetricsAreOptionalForOldJournalRows) {
+  // Same schema-compat promise as host_suspend_fraction: rows journaled
+  // before the wake-fabric metrics existed parse with them zeroed.
+  const ec::Json full = ec::to_json(sample_result());
+  ec::Json old_row = ec::Json::object();
+  for (const auto& [key, value] : full.items()) {
+    if (key != "switch_queue_delay_p99_ms" && key != "wol_frames" &&
+        key != "host_unreachable_s") {
+      old_row.set(key, value);
+    }
+  }
+  const sc::RunResult back = ec::run_result_from_json(old_row);
+  EXPECT_EQ(back.switch_queue_delay_p99_ms, 0.0);
+  EXPECT_EQ(back.wol_frames, 0u);
+  EXPECT_EQ(back.host_unreachable_s, 0.0);
+
+  ec::Json wrong_type = ec::to_json(sample_result());
+  wrong_type.set("wol_frames", "many");
+  EXPECT_THROW(static_cast<void>(ec::run_result_from_json(wrong_type)), ec::SpecError);
 }
 
 TEST(RunsIo, HostFractionsAreOptionalForOldJournalRows) {

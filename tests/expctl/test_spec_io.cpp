@@ -122,6 +122,69 @@ TEST(SpecIo, ReplayKnobsRoundTripAndStayBackCompatible) {
   EXPECT_EQ(dump.find("\"downsample\""), std::string::npos) << dump;
 }
 
+TEST(SpecIo, NetSpecEmitsOnlyWhenSetAndRoundTrips) {
+  // A spec with default net knobs must serialize without a "net" key:
+  // every pre-netsim sweep's spec_hash fingerprint depends on it.
+  sc::ScenarioSpec plain;
+  plain.name = "plain";
+  plain.hosts = 2;
+  plain.vms = {{.name_prefix = "v",
+                .count = 2,
+                .workload = {.kind = sc::TraceKind::LlmuConstant}}};
+  const std::string dump = ec::to_json(plain).dump();
+  EXPECT_EQ(dump.find("\"net\""), std::string::npos) << dump;
+
+  // Non-default knobs round-trip through the conditional object.
+  sc::ScenarioSpec net = plain;
+  net.name = "netty";
+  net.net.enabled = true;
+  net.net.port_latency = 2;
+  net.net.serialization = 5;
+  net.net.heartbeat = true;
+  net.net.hb_interval = drowsy::util::seconds(7);
+  net.net.nic_fail_host = 1;
+  net.net.nic_fail_hour = 6;
+  net.net.nic_recover_hour = 12;
+  net.net.wake_max_in_flight = 4;
+  const sc::ScenarioSpec back = ec::scenario_spec_from_json(ec::to_json(net));
+  EXPECT_TRUE(back.net == net.net);
+
+  // Old-schema back-compat: a netless spec parses to default knobs.
+  EXPECT_TRUE(plain.net == sc::NetSpec{});
+  const sc::ScenarioSpec old =
+      ec::scenario_spec_from_json(ec::Json::parse(dump));
+  EXPECT_TRUE(old.net == sc::NetSpec{});
+}
+
+TEST(SpecIo, NetSpecValidationErrors) {
+  const auto parse = [](const std::string& text) {
+    return ec::scenario_spec_from_json(ec::Json::parse(text));
+  };
+  const std::string base =
+      R"("hosts": 2, "vms": [{"name_prefix": "v", "count": 2}])";
+  // Fault injection without heartbeat would be an unobservable partition.
+  EXPECT_THROW(
+      static_cast<void>(parse(
+          R"({"name": "x", )" + base +
+          R"(, "net": {"enabled": true, "nic_fail_host": 1, "nic_fail_hour": 2}})")),
+      ec::SpecError);
+  // Heartbeat knobs without the fabric enabled.
+  EXPECT_THROW(static_cast<void>(parse(R"({"name": "x", )" + base +
+                                       R"(, "net": {"heartbeat": true}})")),
+               ec::SpecError);
+  // Recovery must come after the fault.
+  EXPECT_THROW(
+      static_cast<void>(parse(
+          R"({"name": "x", )" + base +
+          R"(, "net": {"enabled": true, "heartbeat": true, "nic_fail_host": 1,
+                       "nic_fail_hour": 6, "nic_recover_hour": 6}})")),
+      ec::SpecError);
+  // Unknown net key (typo detection).
+  EXPECT_THROW(static_cast<void>(parse(R"({"name": "x", )" + base +
+                                       R"(, "net": {"serialisation_ms": 5}})")),
+               ec::SpecError);
+}
+
 TEST(SpecIo, ReplaySpecValidationErrors) {
   // path without the file-replay kind.
   EXPECT_THROW(static_cast<void>(ec::trace_spec_from_json(ec::Json::parse(

@@ -1,0 +1,113 @@
+// HeartbeatMonitor driven by the real simulation EventQueue (the unit
+// tests elsewhere use ImmediateDispatcher; the wake fabric runs monitors
+// on the shared queue, so the timing contract must hold there too).
+#include <gtest/gtest.h>
+
+#include "net/heartbeat.hpp"
+#include "sim/event_queue.hpp"
+
+namespace n = drowsy::net;
+namespace s = drowsy::sim;
+namespace u = drowsy::util;
+
+TEST(HeartbeatOnEventQueue, FailoverFiresAtTheExactSimulatedInstant) {
+  // Checks run at interval, 2*interval, ...; with no beats the third
+  // check is the third consecutive miss, so failover fires at exactly
+  // 3 * interval — not a tick earlier or later.
+  s::EventQueue q;
+  n::HeartbeatConfig cfg;
+  cfg.interval = u::seconds(5);
+  cfg.miss_threshold = 3;
+  u::SimTime fired_at = -1;
+  n::HeartbeatMonitor monitor(q, cfg, [&] { fired_at = q.now(); });
+  monitor.start();
+  q.run_until(u::minutes(5));
+  EXPECT_EQ(fired_at, 3 * u::seconds(5));
+  EXPECT_TRUE(monitor.failed_over());
+  EXPECT_EQ(monitor.consecutive_misses(), 3);
+}
+
+TEST(HeartbeatOnEventQueue, ABeatResetsTheMissCountdown) {
+  // One beat lands between the first and second check: the countdown
+  // restarts, pushing failover from 15 s out to 35 s.
+  s::EventQueue q;
+  n::HeartbeatConfig cfg;
+  cfg.interval = u::seconds(5);
+  cfg.miss_threshold = 3;
+  u::SimTime fired_at = -1;
+  n::HeartbeatMonitor monitor(q, cfg, [&] { fired_at = q.now(); });
+  monitor.start();
+  q.schedule_at(u::seconds(7), [&] { monitor.beat_received(); });
+  q.run_until(u::minutes(5));
+  // Check at 5 s: miss 1.  Check at 10 s: beat seen, misses reset.
+  // Checks at 15/20/25 s miss again, so the third consecutive miss —
+  // and the failover — lands at 25 s.
+  EXPECT_EQ(fired_at, u::seconds(25));
+}
+
+TEST(HeartbeatOnEventQueue, StopBeforeTheFatalCheckSuppressesFailover) {
+  // stop() between the second and third check: the already-scheduled
+  // check event still pops off the queue but must be a no-op (the
+  // generation guard), so no failover ever fires.
+  s::EventQueue q;
+  n::HeartbeatConfig cfg;
+  cfg.interval = u::seconds(5);
+  cfg.miss_threshold = 3;
+  bool fired = false;
+  n::HeartbeatMonitor monitor(q, cfg, [&] { fired = true; });
+  monitor.start();
+  q.schedule_at(u::seconds(12), [&] { monitor.stop(); });
+  q.run_until(u::minutes(5));
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(monitor.failed_over());
+  EXPECT_EQ(q.pending(), 0u);  // no orphaned check keeps rescheduling
+}
+
+TEST(HeartbeatOnEventQueue, SameInstantStopRacesResolveBySequence) {
+  // stop() landing at the same instant as the fatal check resolves by
+  // (time, seq) order — deterministically, both ways.
+  n::HeartbeatConfig cfg;
+  cfg.interval = u::seconds(5);
+  cfg.miss_threshold = 1;
+  {
+    // Armed first: start() enqueues the check before the stop event
+    // exists, so at 5 s the check runs first and failover fires.
+    s::EventQueue q;
+    bool fired = false;
+    n::HeartbeatMonitor monitor(q, cfg, [&] { fired = true; });
+    monitor.start();
+    q.schedule_at(u::seconds(5), [&] { monitor.stop(); });
+    q.run_all();
+    EXPECT_TRUE(fired);
+  }
+  {
+    // Stop enqueued first (start() runs later, from an event): at 5 s
+    // the stop's generation bump lands before the check, which becomes
+    // a no-op.
+    s::EventQueue q;
+    bool fired = false;
+    n::HeartbeatMonitor monitor(q, cfg, [&] { fired = true; });
+    q.schedule_at(u::seconds(5), [&] { monitor.stop(); });
+    q.schedule_at(0, [&] { monitor.start(); });
+    q.run_all();
+    EXPECT_FALSE(fired);
+  }
+}
+
+TEST(HeartbeatOnEventQueue, RestartAfterFailoverReArms) {
+  // The wake fabric restarts a monitor on recovery; a fresh start() must
+  // clear failed_over and run a full new countdown.
+  s::EventQueue q;
+  n::HeartbeatConfig cfg;
+  cfg.interval = u::seconds(5);
+  cfg.miss_threshold = 2;
+  int fail_count = 0;
+  n::HeartbeatMonitor monitor(q, cfg, [&] { ++fail_count; });
+  monitor.start();
+  q.run_until(u::minutes(1));
+  EXPECT_EQ(fail_count, 1);
+  monitor.start();
+  EXPECT_FALSE(monitor.failed_over());
+  q.run_until(u::minutes(2));
+  EXPECT_EQ(fail_count, 2);
+}

@@ -121,12 +121,43 @@ TEST_F(HostFixture, WhenAwakeWaitsForResume) {
 
 TEST_F(HostFixture, OnWakeHookFires) {
   int wakes = 0;
-  host.set_on_wake([&] { ++wakes; });
+  host.add_on_wake([&] { ++wakes; });
   host.begin_suspend();
   q.run_all();
   host.begin_resume();
   q.run_all();
   EXPECT_EQ(wakes, 1);
+}
+
+// PR 7 regression: the old set_on_wake silently clobbered earlier hooks —
+// installing the netsim fabric's observer would have dropped the suspend
+// checker's grace-time hook.  Hooks must compose and run in install order.
+TEST_F(HostFixture, OnWakeHooksChainInInstallOrder) {
+  std::vector<int> order;
+  host.add_on_wake([&] { order.push_back(1); });
+  host.add_on_wake([&] { order.push_back(2); });
+  host.add_on_wake([&] { order.push_back(3); });
+  EXPECT_EQ(host.on_wake_hook_count(), 3u);
+  host.begin_suspend();
+  q.run_all();
+  host.begin_resume();
+  q.run_all();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  // Hooks persist across wake cycles.
+  host.begin_suspend();
+  q.run_all();
+  host.begin_resume();
+  q.run_all();
+  EXPECT_EQ(order.size(), 6u);
+}
+
+TEST_F(HostFixture, UnreachableHostRefusesPlacementAndStaysUp) {
+  EXPECT_TRUE(host.reachable());
+  host.set_reachable(false);
+  EXPECT_FALSE(host.can_host(s::VmSpec{"vm", 1, 1024}));
+  host.set_reachable(true);
+  EXPECT_TRUE(host.can_host(s::VmSpec{"vm", 1, 1024}));
 }
 
 TEST_F(HostFixture, EnergyAccountingIdleHour) {

@@ -38,11 +38,13 @@
 //       canonical job order, and emit the same tables/artifacts as `run`
 //       — byte-identical to a single-process execution of the sweep.
 //   drowsy_sweep shard status <sweep.json> --journal F [--journal F ...]
-//                    [--queue-dir D] [--stale-after-s S]
+//                    [--queue-dir D] [--stale-after-s S] [--json]
 //       Coverage report: completed/missing/duplicate/foreign counts plus
 //       per-journal measured wall-clock totals.  With --queue-dir, also
 //       warn about manifests parked in claimed/<worker>/ longer than the
-//       threshold (default 900 s) — a dead worker's shard.
+//       threshold (default 900 s) — a dead worker's shard.  --json emits
+//       the same report as one JSON document (stale claims included) for
+//       reapers and dashboards; exit codes are unchanged.
 //   drowsy_sweep shard daemon <queue-dir> [--worker-id W] [--threads N]
 //                    [--poll-ms P] [--max-idle-s S]
 //       Long-running worker: claim manifests from the queue directory
@@ -113,7 +115,7 @@ void print_usage(std::FILE* out, const char* argv0) {
                "       %s shard merge <sweep.json> --journal F... [--alpha A] [--csv F]"
                " [--runs-csv F] [--json F] [--verdicts-csv F]\n"
                "       %s shard status <sweep.json> --journal F... [--queue-dir D]"
-               " [--stale-after-s S]\n"
+               " [--stale-after-s S] [--json]\n"
                "       %s shard daemon <queue-dir> [--worker-id W] [--threads N]"
                " [--poll-ms P] [--max-idle-s S]\n"
                "       %s study list\n"
@@ -463,6 +465,7 @@ struct JournalSetOptions {
   EmitOptions emit;
   std::string queue_dir;        ///< status only: scan claimed/ for stale tasks
   double stale_after_s = 900.0; ///< status only: stale-claim threshold
+  bool json = false;            ///< status only: machine-readable report
 };
 
 int parse_journal_set(int argc, char** argv, JournalSetOptions& opts, bool allow_emit,
@@ -475,6 +478,10 @@ int parse_journal_set(int argc, char** argv, JournalSetOptions& opts, bool allow
       // handled
     } else if (allow_queue && std::strcmp(argv[i], "--queue-dir") == 0) {
       opts.queue_dir = value("--queue-dir");
+    } else if (allow_queue && std::strcmp(argv[i], "--json") == 0) {
+      // Valueless here, unlike merge's `--json F` emit flag: status has
+      // exactly one report, which goes to stdout.
+      opts.json = true;
     } else if (allow_queue && std::strcmp(argv[i], "--stale-after-s") == 0) {
       const char* text = value("--stale-after-s");
       char* end = nullptr;
@@ -540,23 +547,78 @@ int cmd_shard_status(int argc, char** argv) {
   // Per-journal accounting: progress in wall-clock terms, not just row
   // counts — a shard with 3 of 4 rows done may still own most of the
   // remaining work.
+  struct JournalTotals {
+    std::string path;
+    std::size_t rows = 0;
+    double wall_ms = 0.0;
+    std::size_t unmeasured = 0;
+  };
+  std::vector<JournalTotals> totals;
   const auto entries = read_journal_set(
-      opts.journals, [](const std::string& path, const dt::JournalContents& contents) {
-        double wall_ms = 0.0;
-        std::size_t unmeasured = 0;
+      opts.journals,
+      [&](const std::string& path, const dt::JournalContents& contents) {
+        JournalTotals t;
+        t.path = path;
+        t.rows = contents.entries.size();
         for (const dt::JournalEntry& entry : contents.entries) {
           if (entry.has_wall_ms()) {
-            wall_ms += entry.wall_ms;
+            t.wall_ms += entry.wall_ms;
           } else {
-            ++unmeasured;
+            ++t.unmeasured;
           }
         }
-        std::printf("  %-40s %4zu row(s)  wall %10.0f ms", path.c_str(),
-                    contents.entries.size(), wall_ms);
-        if (unmeasured > 0) std::printf("  (%zu unmeasured)", unmeasured);
-        std::printf("\n");
+        if (!opts.json) {
+          std::printf("  %-40s %4zu row(s)  wall %10.0f ms", t.path.c_str(), t.rows,
+                      t.wall_ms);
+          if (t.unmeasured > 0) std::printf("  (%zu unmeasured)", t.unmeasured);
+          std::printf("\n");
+        }
+        totals.push_back(std::move(t));
       });
   const dt::Coverage cov = dt::cover_grid(jobs, entries);
+  // Stale claims park their shard until a daemon with the same worker
+  // id returns; surface them so the operator can restart or re-enqueue
+  // (the first step toward an automatic reaper).
+  std::vector<dt::StaleClaim> stale;
+  if (!opts.queue_dir.empty()) {
+    stale = dt::find_stale_claims(opts.queue_dir, opts.stale_after_s);
+  }
+  if (opts.json) {
+    // One JSON document on stdout; the exit code still carries the
+    // complete/incomplete verdict so scripts need not parse to gate.
+    ec::Json j = ec::Json::object();
+    j.set("sweep", loaded.sweep.name);
+    j.set("completed", static_cast<std::uint64_t>(cov.completed));
+    j.set("total", static_cast<std::uint64_t>(cov.total));
+    j.set("complete", cov.complete());
+    j.set("missing", static_cast<std::uint64_t>(cov.missing.size()));
+    j.set("duplicates", static_cast<std::uint64_t>(cov.duplicates.size()));
+    ec::Json foreign = ec::Json::array();
+    for (const std::string& f : cov.foreign) foreign.push_back(f);
+    j.set("foreign", std::move(foreign));
+    ec::Json journals = ec::Json::array();
+    for (const JournalTotals& t : totals) {
+      ec::Json row = ec::Json::object();
+      row.set("path", t.path);
+      row.set("rows", static_cast<std::uint64_t>(t.rows));
+      row.set("wall_ms", t.wall_ms);
+      row.set("unmeasured", static_cast<std::uint64_t>(t.unmeasured));
+      journals.push_back(std::move(row));
+    }
+    j.set("journals", std::move(journals));
+    ec::Json claims = ec::Json::array();
+    for (const dt::StaleClaim& claim : stale) {
+      ec::Json row = ec::Json::object();
+      row.set("manifest", claim.manifest_path);
+      row.set("worker_id", claim.worker_id);
+      row.set("age_s", claim.age_s);
+      row.set("queue_dir", opts.queue_dir);
+      claims.push_back(std::move(row));
+    }
+    j.set("stale_claims", std::move(claims));
+    std::printf("%s\n", j.dump(2).c_str());
+    return cov.complete() ? 0 : 3;
+  }
   std::printf("%s: %zu/%zu run(s) complete\n", loaded.sweep.name.c_str(), cov.completed,
               cov.total);
   if (!cov.missing.empty()) {
@@ -571,18 +633,12 @@ int cmd_shard_status(int argc, char** argv) {
     std::printf("  foreign rows: %zu (e.g. %s)\n", cov.foreign.size(),
                 cov.foreign.front().c_str());
   }
-  if (!opts.queue_dir.empty()) {
-    // Stale claims park their shard until a daemon with the same worker
-    // id returns; surface them so the operator can restart or re-enqueue
-    // (the first step toward an automatic reaper).
-    for (const dt::StaleClaim& claim :
-         dt::find_stale_claims(opts.queue_dir, opts.stale_after_s)) {
-      std::printf(
-          "  warning: stale claim %s (worker %s, unclaimed-for %.0f s) — restart a "
-          "daemon with --worker-id %s or move the manifest back to the queue root\n",
-          claim.manifest_path.c_str(), claim.worker_id.c_str(), claim.age_s,
-          claim.worker_id.c_str());
-    }
+  for (const dt::StaleClaim& claim : stale) {
+    std::printf(
+        "  warning: stale claim %s (worker %s, unclaimed-for %.0f s) — restart a "
+        "daemon with --worker-id %s or move the manifest back to the queue root\n",
+        claim.manifest_path.c_str(), claim.worker_id.c_str(), claim.age_s,
+        claim.worker_id.c_str());
   }
   return cov.complete() ? 0 : 3;  // distinct from hard errors (1) and usage (2)
 }
