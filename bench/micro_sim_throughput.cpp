@@ -14,6 +14,13 @@
 // checked-in baseline that CI diffs against (warn-only).  Peak RSS rides
 // along via getrusage so memory regressions show up in the same record.
 //
+// A final *untimed* run executes with an obs::EventProfile attached and
+// contributes the per-tag event-core breakdown (which event classes the
+// simulated day is made of, and where dispatch wall-time goes).  The
+// timed phases stay unprofiled so the headline numbers keep measuring
+// the bare queue; the breakdown is additive in the JSON record
+// ("event_profile"), so older baseline parsers keep working.
+//
 //   micro_sim_throughput [--events N] [--runs N] [--bench-json F]
 #include <sys/resource.h>
 
@@ -24,7 +31,9 @@
 #include <string>
 
 #include "expctl/json.hpp"
+#include "obs/event_profile.hpp"
 #include "scenario/batch_runner.hpp"
+#include "scenario/probes.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/event_queue.hpp"
@@ -116,6 +125,26 @@ int main(int argc, char** argv) {
               scenario_name, run_wall_s, runs_per_sec,
               static_cast<unsigned long long>(requests));
 
+  // Event-core breakdown: one more run, profiled, outside the timed
+  // window (profiling adds a steady_clock read per event, which the
+  // headline runs/s must not pay).
+  drowsy::obs::EventProfile profile;
+  const sc::RunProbe probe =
+      sc::profile_probe([&profile](const drowsy::obs::EventProfile& p) {
+        profile.merge(p);
+      });
+  static_cast<void>(sc::run_one(spec, sc::Policy::DrowsyDc, spec.seed,
+                                /*trace_cache=*/nullptr, &probe));
+  std::printf("event core (1 profiled run, %llu events):\n",
+              static_cast<unsigned long long>(profile.total_events()));
+  for (const drowsy::obs::EventTag tag : drowsy::obs::all_event_tags()) {
+    if (profile.events(tag) == 0) continue;
+    std::printf("  %-14s %10llu events  %8.2f ms dispatch\n",
+                drowsy::obs::to_string(tag),
+                static_cast<unsigned long long>(profile.events(tag)),
+                static_cast<double>(profile.dispatch_ns(tag)) / 1e6);
+  }
+
   const double rss_mb = peak_rss_mb();
   std::printf("peak RSS: %.1f MiB\n", rss_mb);
 
@@ -130,6 +159,9 @@ int main(int argc, char** argv) {
     j.set("run_wall_s", run_wall_s);
     j.set("runs_per_sec", runs_per_sec);
     j.set("peak_rss_mb", rss_mb);
+    // Additive key: the warn-only CI delta greps the scalar keys above
+    // and keeps parsing baselines that predate the profile.
+    j.set("event_profile", profile.to_json());
     if (!sc::write_file(bench_json, j.dump())) return 1;
   }
   return 0;

@@ -121,7 +121,8 @@ void Controller::pump_guest_timers(sim::HostId id, std::int64_t hour) {
   // An overdue timer on a suspended host fires on resume; re-arming the
   // chain for it would spin at the current instant.
   if (next <= now) return;
-  cluster_.queue().schedule_at(next, [this, id, hour] { pump_guest_timers(id, hour); });
+  cluster_.queue().schedule_at(next, [this, id, hour] { pump_guest_timers(id, hour); },
+                               obs::EventTag::Hrtimer);
 }
 
 void Controller::run_hours(std::int64_t hours,

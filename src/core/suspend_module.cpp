@@ -36,11 +36,14 @@ void SuspendModule::stop() {
 
 void SuspendModule::schedule_next() {
   const std::uint64_t gen = generation_;
-  cluster_.queue().schedule_after(config_.check_interval, [this, gen] {
-    if (generation_ != gen || !running_) return;
-    check();
-    schedule_next();
-  });
+  cluster_.queue().schedule_after(
+      config_.check_interval,
+      [this, gen] {
+        if (generation_ != gen || !running_) return;
+        check();
+        schedule_next();
+      },
+      obs::EventTag::SuspendCheck);
 }
 
 bool SuspendModule::host_idle() const {

@@ -56,7 +56,8 @@ void WakingModule::on_host_suspending(const sim::Host& host, util::SimTime wake_
     const util::SimTime fire_at =
         std::max(cluster_.queue().now(), wake_date - config_.wake_lead);
     cluster_.queue().schedule_at(
-        fire_at, [this, wake_date, mac = host.mac()] { fire_scheduled(wake_date, mac); });
+        fire_at, [this, wake_date, mac = host.mac()] { fire_scheduled(wake_date, mac); },
+        obs::EventTag::Wake);
   }
   if (mirror_ != nullptr) mirror_->on_host_suspending(host, wake_date);
 }

@@ -4,12 +4,16 @@
 #include <chrono>
 #include <exception>
 #include <filesystem>
+#include <mutex>
 #include <set>
 #include <thread>
 
 #include "distrib/shard_runner.hpp"
 #include "expctl/spec_io.hpp"
+#include "obs/snapshot.hpp"
+#include "scenario/probes.hpp"
 #include "scenario/registry.hpp"
+#include "util/log.hpp"
 
 namespace drowsy::distrib {
 
@@ -41,6 +45,13 @@ struct Queue {
   fs::path claimed;  ///< root/claimed/<worker_id>
   fs::path done;
   fs::path failed;
+  fs::path metrics_file;  ///< root/metrics/<worker_id>.json
+
+  // The worker's running totals, flushed to metrics_file.  run_shard's
+  // probe folds event profiles from BatchRunner worker threads, so every
+  // touch goes through snap_mutex.
+  obs::WorkerSnapshot snap;
+  std::mutex snap_mutex;
 
   explicit Queue(const DaemonOptions& opts) : options(opts), root(opts.queue_dir) {
     if (!fs::is_directory(root)) {
@@ -60,6 +71,27 @@ struct Queue {
     if (!fs::is_directory(claimed) || !fs::is_directory(done) || !fs::is_directory(failed)) {
       throw DistribError("cannot create queue subdirectories under " + root.string());
     }
+    metrics_file = root / "metrics" / (options.worker_id + ".json");
+    snap.worker_id = options.worker_id;
+  }
+
+  /// Rewrite the metrics snapshot (atomic tmp+rename).  Advisory only:
+  /// an unwritable metrics/ directory must never wedge the queue, so
+  /// failures are logged and swallowed.  Caller must hold snap_mutex
+  /// (or be the daemon thread with no task in flight).
+  void flush_metrics_locked() {
+    snap.updated_unix_ms = obs::wall_clock_unix_ms();
+    try {
+      obs::write_snapshot_file(metrics_file.string(), snap);
+    } catch (const std::exception& e) {
+      DROWSY_LOG_WARN("daemon", "cannot write metrics snapshot %s: %s",
+                      metrics_file.string().c_str(), e.what());
+    }
+  }
+
+  void flush_metrics() {
+    const std::lock_guard<std::mutex> lock(snap_mutex);
+    flush_metrics_locked();
   }
 
   [[nodiscard]] bool stop_requested() const { return fs::exists(root / "STOP"); }
@@ -109,10 +141,30 @@ struct Queue {
           ec::sweep_from_json(ec::Json::parse(sweep_bytes), sc::ScenarioRegistry::builtin());
       const std::vector<sc::BatchJob> grid = ec::expand(sweep);
       validate_manifest(manifest, sweep_bytes, grid.size());
-      const ShardRunOutcome outcome =
-          run_shard(grid, manifest, journal.string(), options.threads);
+      // The profile probe folds each run's event-core profile into the
+      // snapshot; the on_row hook flushes it after every journal append,
+      // so the heartbeat keeps beating through a single long task.
+      const sc::RunProbe probe = sc::profile_probe([this](const obs::EventProfile& p) {
+        const std::lock_guard<std::mutex> lock(snap_mutex);
+        snap.profile.merge(p);
+      });
+      const ShardRunOutcome outcome = run_shard(
+          grid, manifest, journal.string(), options.threads, probe,
+          [this](const JournalEntry&) {
+            const std::lock_guard<std::mutex> lock(snap_mutex);
+            ++snap.jobs_done;
+            ++snap.journal_rows;
+            flush_metrics_locked();
+          });
       move_into(journal, done);
       move_into(manifest_path, done);
+      {
+        const std::lock_guard<std::mutex> lock(snap_mutex);
+        ++snap.tasks_done;
+        snap.trace_cache_hits += outcome.trace_hits;
+        snap.trace_cache_misses += outcome.trace_misses;
+        flush_metrics_locked();
+      }
       emit(options, "done " + manifest_path.filename().string() + " (resumed " +
                         std::to_string(outcome.resumed) + ", executed " +
                         std::to_string(outcome.executed) + ")");
@@ -126,6 +178,11 @@ struct Queue {
       fs::rename(manifest_path, failed / manifest_path.filename(), ec_ignored);
       const fs::path note = failed / (manifest_path.stem().string() + ".error.txt");
       static_cast<void>(sc::write_file(note.string(), std::string(e.what()) + "\n"));
+      {
+        const std::lock_guard<std::mutex> lock(snap_mutex);
+        ++snap.tasks_failed;
+        flush_metrics_locked();
+      }
       emit(options, "failed " + manifest_path.filename().string() + ": " + e.what());
       return false;
     }
@@ -137,6 +194,7 @@ struct Queue {
 DaemonOutcome run_daemon(const DaemonOptions& options) {
   Queue queue(options);
   DaemonOutcome outcome;
+  queue.flush_metrics();  // heartbeat exists from the first moment on duty
 
   // Crash recovery: a previous daemon with this worker id may have died
   // owning tasks.  Finish them (the journal resume makes this converge)
@@ -181,6 +239,7 @@ DaemonOutcome run_daemon(const DaemonOptions& options) {
       outcome.exit = DaemonExit::Idle;
       return outcome;
     }
+    queue.flush_metrics();  // idle heartbeat: the claim reaper reads this mtime
     std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
   }
 }
@@ -197,6 +256,18 @@ std::vector<StaleClaim> find_stale_claims(const std::string& queue_dir,
   const auto now = fs::file_time_type::clock::now();
   for (const fs::directory_entry& worker : fs::directory_iterator(claimed)) {
     if (!worker.is_directory()) continue;
+    const std::string worker_id = worker.path().filename().string();
+    // The worker's heartbeat: its metrics snapshot, rewritten every poll
+    // and every finished run.  When present, *its* age is the worker's
+    // "last seen" for every claim the worker holds — a claim manifest's
+    // own mtime dates from `shard plan` (rename preserves it) and keeps
+    // aging even while the owner is healthily grinding through the task.
+    std::error_code ec_beat;
+    const auto heartbeat =
+        fs::last_write_time(root / "metrics" / (worker_id + ".json"), ec_beat);
+    const bool has_heartbeat = !ec_beat;
+    const double heartbeat_age_s =
+        has_heartbeat ? std::chrono::duration<double>(now - heartbeat).count() : 0.0;
     for (const fs::directory_entry& entry : fs::directory_iterator(worker.path())) {
       if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
       try {
@@ -205,13 +276,15 @@ std::vector<StaleClaim> find_stale_claims(const std::string& queue_dir,
       } catch (const std::exception&) {
         continue;  // a journal or stray file, not a claim
       }
-      std::error_code ec_time;
-      const auto written = fs::last_write_time(entry.path(), ec_time);
-      if (ec_time) continue;  // raced with the owner archiving it
-      const double age_s = std::chrono::duration<double>(now - written).count();
+      double age_s = heartbeat_age_s;
+      if (!has_heartbeat) {
+        std::error_code ec_time;
+        const auto written = fs::last_write_time(entry.path(), ec_time);
+        if (ec_time) continue;  // raced with the owner archiving it
+        age_s = std::chrono::duration<double>(now - written).count();
+      }
       if (age_s >= threshold_s) {
-        stale.push_back({entry.path().string(),
-                         worker.path().filename().string(), age_s});
+        stale.push_back({entry.path().string(), worker_id, age_s, has_heartbeat});
       }
     }
   }

@@ -16,6 +16,11 @@
 //   <queue>/done/                  finished manifest + journal pairs
 //   <queue>/failed/                failed manifests (+ partial journal)
 //                                  with a <name>.error.txt diagnosis
+//   <queue>/metrics/<worker>.json  the worker's metrics snapshot (see
+//                                  obs/snapshot.hpp), rewritten atomically
+//                                  every poll cycle and after every
+//                                  finished run — its mtime is the
+//                                  worker's heartbeat
 //   <queue>/STOP                   sentinel: daemons exit at next poll
 //
 // A pending file is recognized by *content*, not name: anything that
@@ -81,16 +86,25 @@ struct DaemonOutcome {
 struct StaleClaim {
   std::string manifest_path;  ///< <queue>/claimed/<worker>/<name>.json
   std::string worker_id;
-  double age_s = 0.0;  ///< since the manifest file was last written
+  double age_s = 0.0;  ///< since the worker was last seen (see from_snapshot)
+  /// true when age_s comes from the worker's metrics snapshot mtime (its
+  /// heartbeat); false when it falls back to the manifest file's mtime.
+  bool from_snapshot = false;
 };
 
-/// Scan <queue>/claimed/*/ for manifests older than `threshold_s`
-/// seconds, in path order.  Only files that parse as shard manifests
-/// count (journals and stray files are ignored, like the daemon's own
-/// pending scan).  A queue without a claimed/ directory has no claims;
-/// a missing queue root throws DistribError.  Read-only: the first step
-/// toward a stale-claim reaper — surfacing the parked work is safe,
-/// re-enqueueing it automatically is not (the owner may still be alive).
+/// Scan <queue>/claimed/*/ for manifests whose worker has not been seen
+/// for `threshold_s` seconds, in path order.  Only files that parse as
+/// shard manifests count (journals and stray files are ignored, like the
+/// daemon's own pending scan).  "Last seen" prefers the worker's metrics
+/// snapshot (<queue>/metrics/<worker>.json — rewritten every poll and
+/// every finished run, so a worker grinding through one long task keeps
+/// its claims fresh); without a snapshot it falls back to the claim
+/// manifest's own mtime, which dates from `shard plan` and ages even
+/// while the owner works.  A queue without a claimed/ directory has no
+/// claims; a missing queue root throws DistribError.  Read-only: the
+/// first step toward a stale-claim reaper — surfacing the parked work is
+/// safe, re-enqueueing it automatically is not (the owner may still be
+/// alive).
 [[nodiscard]] std::vector<StaleClaim> find_stale_claims(const std::string& queue_dir,
                                                         double threshold_s);
 

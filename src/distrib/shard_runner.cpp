@@ -8,7 +8,8 @@ namespace sc = drowsy::scenario;
 
 ShardRunOutcome run_shard(const std::vector<sc::BatchJob>& grid,
                           const ShardManifest& manifest, const std::string& journal_path,
-                          std::size_t threads) {
+                          std::size_t threads, const sc::RunProbe& probe,
+                          const std::function<void(const JournalEntry&)>& on_row) {
   ShardRunOutcome outcome;
   outcome.shard_jobs = manifest.job_indices.size();
 
@@ -63,16 +64,19 @@ ShardRunOutcome run_shard(const std::vector<sc::BatchJob>& grid,
   JournalWriter writer(journal_path, journal.valid_bytes);
   sc::BatchRunner runner(threads);
   // The callback runs under BatchRunner's completion mutex, so appends
-  // never interleave.
-  static_cast<void>(
-      runner.run(to_run, [&](std::size_t j, const sc::RunResult& result, double wall_ms) {
+  // never interleave and on_row sees each entry exactly once, post-append.
+  static_cast<void>(runner.run(
+      to_run,
+      [&](std::size_t j, const sc::RunResult& result, double wall_ms) {
         JournalEntry entry;
         entry.index = run_indices[j];
         entry.key = grid_keys[run_indices[j]];
         entry.result = result;
         entry.wall_ms = wall_ms;
         writer.append(entry);
-      }));
+        if (on_row) on_row(entry);
+      },
+      probe));
   outcome.trace_hits = runner.last_trace_hits();
   outcome.trace_misses = runner.last_trace_misses();
   return outcome;

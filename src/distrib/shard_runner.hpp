@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,13 +40,21 @@ struct ShardRunOutcome {
 /// run exceptions propagate from BatchRunner.  Each journaled row carries
 /// the run's measured wall-clock (`wall_ms`) for cost-model feedback.
 ///
+/// `probe` (optional) is attached to every executed run — resumed jobs
+/// never see it.  `on_row` (optional) fires after each journal append,
+/// serialized under BatchRunner's completion mutex; the queue daemon
+/// hangs its per-job metrics flush off this hook so a worker's snapshot
+/// stays fresh even through a single long task.  Neither affects the
+/// journaled results (probes are pure observers).
+///
 /// Process-safety: at most one run_shard() may own `journal_path` at a
 /// time (it truncates and appends); the queue daemon's rename-based
 /// claiming provides that exclusivity across machines.  Within the call,
 /// worker threads append under BatchRunner's completion mutex.
-[[nodiscard]] ShardRunOutcome run_shard(const std::vector<scenario::BatchJob>& grid,
-                                        const ShardManifest& manifest,
-                                        const std::string& journal_path,
-                                        std::size_t threads = 0);
+[[nodiscard]] ShardRunOutcome run_shard(
+    const std::vector<scenario::BatchJob>& grid, const ShardManifest& manifest,
+    const std::string& journal_path, std::size_t threads = 0,
+    const scenario::RunProbe& probe = {},
+    const std::function<void(const JournalEntry&)>& on_row = {});
 
 }  // namespace drowsy::distrib

@@ -15,9 +15,9 @@ void HeartbeatMonitor::start() {
   misses_ = 0;
   beat_since_check_ = false;
   const std::uint64_t gen = ++generation_;
-  dispatcher_.schedule_after(config_.interval, [this, gen] {
-    if (generation_ == gen && running_) check();
-  });
+  dispatcher_.schedule_after(
+      config_.interval, [this, gen] { if (generation_ == gen && running_) check(); },
+      obs::EventTag::Heartbeat);
 }
 
 void HeartbeatMonitor::stop() {
@@ -42,9 +42,9 @@ void HeartbeatMonitor::check() {
     return;
   }
   const std::uint64_t gen = generation_;
-  dispatcher_.schedule_after(config_.interval, [this, gen] {
-    if (generation_ == gen && running_) check();
-  });
+  dispatcher_.schedule_after(
+      config_.interval, [this, gen] { if (generation_ == gen && running_) check(); },
+      obs::EventTag::Heartbeat);
 }
 
 MirroredPair::MirroredPair(Dispatcher& dispatcher, HeartbeatConfig config,
@@ -65,7 +65,8 @@ void MirroredPair::kill_primary() { primary_alive_ = false; }
 void MirroredPair::emit_beat() {
   if (!primary_alive_) return;
   monitor_.beat_received();
-  dispatcher_.schedule_after(config_.interval, [this] { emit_beat(); });
+  dispatcher_.schedule_after(config_.interval, [this] { emit_beat(); },
+                             obs::EventTag::Heartbeat);
 }
 
 }  // namespace drowsy::net

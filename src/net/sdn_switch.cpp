@@ -61,7 +61,8 @@ bool SdnSwitch::deliver_to_mac(const MacAddress& mac, const Packet& packet) {
   }
   ++forwarded_;
   auto deliver = it->second;  // copy: the port may detach before delivery
-  dispatcher_.schedule_after(port_latency_, [deliver, packet] { deliver(packet); });
+  dispatcher_.schedule_after(port_latency_, [deliver, packet] { deliver(packet); },
+                             obs::EventTag::NetsimFrame);
   return true;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/addr.hpp"
+#include "obs/event_tag.hpp"
 #include "util/sim_time.hpp"
 
 namespace drowsy::net {
@@ -27,6 +28,14 @@ class Dispatcher {
   virtual ~Dispatcher() = default;
   /// Run `fn` after `delay` of simulated time.
   virtual void schedule_after(util::SimTime delay, std::function<void()> fn) = 0;
+  /// Tagged variant for event-core profiling (obs::EventTag attribution).
+  /// Default drops the tag and forwards, so dispatchers that don't
+  /// profile (ImmediateDispatcher) need no changes; sim::EventQueue and
+  /// netsim::EventQueueDispatcher override it to carry the tag through.
+  virtual void schedule_after(util::SimTime delay, std::function<void()> fn,
+                              obs::EventTag /*tag*/) {
+    schedule_after(delay, std::move(fn));
+  }
   /// Current simulated instant.
   [[nodiscard]] virtual util::SimTime now() const = 0;
 };
@@ -34,6 +43,7 @@ class Dispatcher {
 /// Runs everything inline at a fixed time (for unit tests).
 class ImmediateDispatcher final : public Dispatcher {
  public:
+  using Dispatcher::schedule_after;  // keep the tagged overload visible
   void schedule_after(util::SimTime delay, std::function<void()> fn) override;
   [[nodiscard]] util::SimTime now() const override { return now_; }
   void set_now(util::SimTime t) { now_ = t; }

@@ -6,10 +6,15 @@
 namespace drowsy::netsim {
 
 void EventQueueDispatcher::schedule_after(util::SimTime delay, std::function<void()> fn) {
+  schedule_after(delay, std::move(fn), obs::EventTag::NetsimFrame);
+}
+
+void EventQueueDispatcher::schedule_after(util::SimTime delay, std::function<void()> fn,
+                                          obs::EventTag tag) {
   ++frames_;
   if (serialization_ <= 0) {
     // Passthrough: identical (time, seq) ordering to the bare queue.
-    queue_.schedule_after(delay, std::move(fn));
+    queue_.schedule_after(delay, std::move(fn), tag);
     return;
   }
   const util::SimTime now = queue_.now();
@@ -21,7 +26,7 @@ void EventQueueDispatcher::schedule_after(util::SimTime delay, std::function<voi
   if (start > now) queue_delay_ms_.add(static_cast<double>(start - now));
   // The frame leaves the pipe after its serialization, then takes the
   // requested port latency to reach the destination NIC.
-  queue_.schedule_at(busy_until_ + delay, std::move(fn));
+  queue_.schedule_at(busy_until_ + delay, std::move(fn), tag);
 }
 
 }  // namespace drowsy::netsim

@@ -34,7 +34,12 @@ class EventQueueDispatcher final : public net::Dispatcher {
   /// Schedule a frame delivery `delay` (the switch's port latency) from
   /// now.  The frame additionally waits for the serializing pipe: it
   /// starts when the pipe frees up and occupies it for `serialization`.
+  /// Untagged calls default to NetsimFrame — everything through this
+  /// dispatcher is switch traffic; callers with better attribution
+  /// (heartbeat probes) use the tagged overload.
   void schedule_after(util::SimTime delay, std::function<void()> fn) override;
+  void schedule_after(util::SimTime delay, std::function<void()> fn,
+                      obs::EventTag tag) override;
 
   [[nodiscard]] std::uint64_t frames() const { return frames_; }
   /// Time spent waiting for the pipe, sampled only over frames that found

@@ -81,11 +81,13 @@ void WakeFabric::install() {
     assert(id < n && "nic_fail_host out of range");
     if (config_.nic_fail_hour >= 0) {
       cluster_.queue().schedule_at(config_.nic_fail_hour * util::kMsPerHour,
-                                   [this, id] { set_nic_down(id, true); });
+                                   [this, id] { set_nic_down(id, true); },
+                                   obs::EventTag::Heartbeat);
     }
     if (config_.nic_recover_hour >= 0) {
       cluster_.queue().schedule_at(config_.nic_recover_hour * util::kMsPerHour,
-                                   [this, id] { set_nic_down(id, false); });
+                                   [this, id] { set_nic_down(id, false); },
+                                   obs::EventTag::Heartbeat);
     }
   }
 }
@@ -95,17 +97,20 @@ void WakeFabric::emit_beats(sim::HostId id) {
   // its end time.  The WoL-capable management NIC stays powered in S3
   // (paper §V-A), so suspended hosts keep beating — only a failed NIC
   // goes silent.
-  cluster_.queue().schedule_after(config_.hb_interval, [this, id] {
-    if (!nic_down_[id]) {
-      net::Packet beat;
-      beat.kind = net::PacketKind::Heartbeat;
-      beat.dst = monitor_ip_;
-      beat.size_bytes = 64;
-      beat.id = id;
-      switch_.inject(beat);
-    }
-    emit_beats(id);
-  });
+  cluster_.queue().schedule_after(
+      config_.hb_interval,
+      [this, id] {
+        if (!nic_down_[id]) {
+          net::Packet beat;
+          beat.kind = net::PacketKind::Heartbeat;
+          beat.dst = monitor_ip_;
+          beat.size_bytes = 64;
+          beat.id = id;
+          switch_.inject(beat);
+        }
+        emit_beats(id);
+      },
+      obs::EventTag::Heartbeat);
 }
 
 void WakeFabric::on_beat(sim::HostId id) {
@@ -122,6 +127,7 @@ void WakeFabric::on_beat(sim::HostId id) {
                     util::format_duration(cluster_.queue().now() -
                                           unreachable_since_[id])
                         .c_str());
+    for (const auto& hook : on_reachability_) hook(id, true);
     if (host->state() != sim::PowerState::S0) {
       // A wake sent during the outage died on the wire; retransmit.
       ++stats_.recovery_wakes;
@@ -138,6 +144,7 @@ void WakeFabric::on_failover(sim::HostId id) {
   sim::Host* host = cluster_.host(id);
   host->set_reachable(false);
   DROWSY_LOG_INFO("netsim", "%s declared unreachable", host->name().c_str());
+  for (const auto& hook : on_reachability_) hook(id, false);
 }
 
 void WakeFabric::set_nic_down(sim::HostId id, bool down) {
@@ -185,11 +192,14 @@ void WakeFabric::on_hour_end(std::int64_t hour) {
     in_flight.push_back(release + host->resume_remaining());
     slot = release + config_.wake_stagger;
     ++stats_.planned_wakes;
-    cluster_.queue().schedule_at(release, [this, host] {
-      // The hour's first request may have raced us awake already.
-      if (host->state() == sim::PowerState::S0 || !host->reachable()) return;
-      wol_.send(host->mac());
-    });
+    cluster_.queue().schedule_at(
+        release,
+        [this, host] {
+          // The hour's first request may have raced us awake already.
+          if (host->state() == sim::PowerState::S0 || !host->reachable()) return;
+          wol_.send(host->mac());
+        },
+        obs::EventTag::Wake);
   }
 }
 

@@ -92,6 +92,15 @@ class WakeFabric {
   /// Planner hook; drive from scenario::run_one's on_hour_end callback.
   void on_hour_end(std::int64_t hour);
 
+  /// Append an observer of reachability changes: invoked when a host is
+  /// declared unreachable (`reachable == false`, i.e. a heartbeat-loss
+  /// failover) and when a beat brings it back.  Composes like
+  /// sim::Host::add_on_wake; the timeline exporter stamps heartbeat
+  /// losses and recoveries through this.
+  void add_on_reachability(std::function<void(sim::HostId, bool reachable)> hook) {
+    on_reachability_.push_back(std::move(hook));
+  }
+
   [[nodiscard]] const FabricStats& stats() const { return stats_; }
   /// WoL frames the fabric itself injected (planner + recovery).
   [[nodiscard]] std::uint64_t wol_frames() const { return wol_.sent_count(); }
@@ -120,6 +129,7 @@ class WakeFabric {
   std::vector<util::SimTime> unreachable_since_;
   util::SimTime unreachable_accum_ = 0;
   FabricStats stats_;
+  std::vector<std::function<void(sim::HostId, bool)>> on_reachability_;
   bool installed_ = false;
 };
 

@@ -1,0 +1,70 @@
+#include "obs/event_profile.hpp"
+
+#include <string>
+
+namespace drowsy::obs {
+
+void EventProfile::merge(const EventProfile& other) {
+  for (std::size_t i = 0; i < kEventTagCount; ++i) {
+    events_[i] += other.events_[i];
+    dispatch_ns_[i] += other.dispatch_ns_[i];
+  }
+}
+
+std::uint64_t EventProfile::total_events() const {
+  std::uint64_t total = 0;
+  for (const auto n : events_) total += n;
+  return total;
+}
+
+std::uint64_t EventProfile::total_dispatch_ns() const {
+  std::uint64_t total = 0;
+  for (const auto ns : dispatch_ns_) total += ns;
+  return total;
+}
+
+expctl::Json EventProfile::to_json() const {
+  const std::uint64_t total = total_events();
+  expctl::Json j = expctl::Json::object();
+  j.set("total_events", expctl::Json(total));
+  expctl::Json tags = expctl::Json::array();
+  for (const EventTag tag : all_event_tags()) {
+    expctl::Json row = expctl::Json::object();
+    row.set("tag", expctl::Json(to_string(tag)));
+    row.set("events", expctl::Json(events(tag)));
+    row.set("dispatch_ns", expctl::Json(dispatch_ns(tag)));
+    row.set("dispatch_ms", expctl::Json(static_cast<double>(dispatch_ns(tag)) / 1e6));
+    row.set("share",
+            expctl::Json(total == 0 ? 0.0
+                                    : static_cast<double>(events(tag)) /
+                                          static_cast<double>(total)));
+    tags.push_back(std::move(row));
+  }
+  j.set("tags", std::move(tags));
+  return j;
+}
+
+EventProfile EventProfile::from_json(const expctl::Json& j) {
+  EventProfile p;
+  const expctl::Json& tags = j.at("tags");
+  for (const expctl::Json& row : tags.elements()) {
+    const std::string& name = row.at("tag").as_string();
+    bool known = false;
+    for (const EventTag tag : all_event_tags()) {
+      if (name == to_string(tag)) {
+        const auto i = static_cast<std::size_t>(tag);
+        p.events_[i] = row.at("events").as_uint();
+        p.dispatch_ns_[i] = row.at("dispatch_ns").as_uint();
+        known = true;
+        break;
+      }
+    }
+    if (!known) throw expctl::JsonError("event profile: unknown tag '" + name + "'");
+  }
+  if (p.total_events() != j.at("total_events").as_uint()) {
+    throw expctl::JsonError("event profile: total_events does not match tag sum");
+  }
+  return p;
+}
+
+}  // namespace drowsy::obs

@@ -1,0 +1,66 @@
+// Per-tag event-core profile: counts and dispatch wall-time.
+//
+// An EventProfile is the accumulator behind sim::EventQueue's optional
+// instrumentation hook.  It is plain data — two fixed arrays indexed by
+// EventTag — so recording is two adds, and profiles from independent runs
+// merge by addition (BatchRunner aggregates one per worker, the daemon
+// one per process lifetime).
+//
+// Wall-time lives here and ONLY here: dispatch nanoseconds are
+// machine-dependent and must never leak into deterministic artifacts
+// (run CSVs, journals, trace timelines).  to_json() is for bench output
+// and worker metrics snapshots, both explicitly non-deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "expctl/json.hpp"
+#include "obs/event_tag.hpp"
+
+namespace drowsy::obs {
+
+class EventProfile {
+ public:
+  /// Record one dispatched event.  `dispatch_ns` is the handler's wall
+  /// time; pass 0 when only counting.
+  void record(EventTag tag, std::uint64_t dispatch_ns) {
+    const auto i = static_cast<std::size_t>(tag);
+    events_[i] += 1;
+    dispatch_ns_[i] += dispatch_ns;
+  }
+
+  /// Fold another profile in (per-tag addition).
+  void merge(const EventProfile& other);
+
+  [[nodiscard]] std::uint64_t events(EventTag tag) const {
+    return events_[static_cast<std::size_t>(tag)];
+  }
+  [[nodiscard]] std::uint64_t dispatch_ns(EventTag tag) const {
+    return dispatch_ns_[static_cast<std::size_t>(tag)];
+  }
+  /// Sum over all tags — equals EventQueue::executed() for the profiled
+  /// span, since every event carries exactly one tag.
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] std::uint64_t total_dispatch_ns() const;
+
+  [[nodiscard]] bool empty() const { return total_events() == 0; }
+
+  /// Machine-readable breakdown: {"total_events": N, "tags": [{"tag",
+  /// "events", "dispatch_ns", "dispatch_ms", "share"}...]} with every
+  /// tag present in enum order (zero rows included, so parsers need no
+  /// existence checks).  `dispatch_ns` is the exact accumulator (what
+  /// from_json reads back); `dispatch_ms` and `share` are derived
+  /// conveniences.
+  [[nodiscard]] expctl::Json to_json() const;
+
+  /// Strict inverse of to_json (unknown tag names rejected).  Throws
+  /// expctl::JsonError on malformed input.
+  [[nodiscard]] static EventProfile from_json(const expctl::Json& j);
+
+ private:
+  std::array<std::uint64_t, kEventTagCount> events_{};
+  std::array<std::uint64_t, kEventTagCount> dispatch_ns_{};
+};
+
+}  // namespace drowsy::obs

@@ -1,0 +1,94 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace drowsy::obs {
+
+// --- Histogram -----------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // negatives and NaN fold into the under bucket
+  if (v >= 4294967296.0) return kBuckets - 1;  // 2^32
+  // v in [1, 2^32): bucket i covers [2^(i-1), 2^i), i.e. i = floor(log2 v) + 1.
+  const int exp = std::ilogb(v);
+  return static_cast<std::size_t>(exp) + 1;
+}
+
+double Histogram::bucket_lower(std::size_t i) {
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(i) - 1);  // 2^(i-1)
+}
+
+double Histogram::bucket_upper(std::size_t i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+void Histogram::observe(double v) {
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucket_index(v)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+// --- Registry ------------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+expctl::Json Registry::to_json() const {
+  expctl::Json j = expctl::Json::object();
+  expctl::Json counters = expctl::Json::object();
+  for (const auto& [name, c] : counters_) counters.set(name, expctl::Json(c->value()));
+  j.set("counters", std::move(counters));
+  expctl::Json gauges = expctl::Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, expctl::Json(g->value()));
+  j.set("gauges", std::move(gauges));
+  expctl::Json histograms = expctl::Json::object();
+  for (const auto& [name, h] : histograms_) {
+    expctl::Json row = expctl::Json::object();
+    row.set("count", expctl::Json(h->count()));
+    row.set("sum", expctl::Json(h->sum()));
+    expctl::Json buckets = expctl::Json::array();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->bucket(i) == 0) continue;
+      expctl::Json b = expctl::Json::object();
+      // The last bucket's upper bound is +inf, which JSON cannot carry;
+      // render it as the lower bound with an "open" marker instead.
+      if (i == Histogram::kBuckets - 1) {
+        b.set("ge", expctl::Json(Histogram::bucket_lower(i)));
+      } else {
+        b.set("le", expctl::Json(Histogram::bucket_upper(i)));
+      }
+      b.set("count", expctl::Json(h->bucket(i)));
+      buckets.push_back(std::move(b));
+    }
+    row.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(row));
+  }
+  j.set("histograms", std::move(histograms));
+  return j;
+}
+
+}  // namespace drowsy::obs

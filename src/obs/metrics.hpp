@@ -1,0 +1,130 @@
+// Metrics registry: counters, gauges, fixed-bucket log-scale histograms.
+//
+// Design goals, in order:
+//   1. Zero cost when disabled.  Call sites instrument through the
+//      DROWSY_OBS_* macros; compiling a TU with -DDROWSY_OBS_ENABLED=0
+//      reduces every macro to `((void)0)` — the operand expressions are
+//      never evaluated, so a disabled hot path carries no loads, no
+//      branches, and no registry lookups (tests/obs/test_noop_mode.cpp
+//      verifies this by instrumenting against a registry and asserting
+//      it stays untouched).
+//   2. Deterministic snapshots.  Registry::to_json() renders metrics
+//      sorted by name with exact integer counts, so two runs that
+//      observe the same values dump the same bytes.
+//   3. No dependencies beyond util/expctl.  Instruments live in the
+//      registry (stable addresses); lookup is by name at wiring time,
+//      never per observation — hold the reference.
+//
+// Not thread-safe: each worker owns its registry (the daemon one per
+// process, BatchRunner aggregation happens under its completion mutex).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "expctl/json.hpp"
+
+// Compile-out switch.  Default on; a TU (or the whole build, via CMake's
+// -DDROWSY_OBS=OFF) may define DROWSY_OBS_ENABLED=0 before including any
+// obs header to turn every DROWSY_OBS_* macro into a no-op.
+#ifndef DROWSY_OBS_ENABLED
+#define DROWSY_OBS_ENABLED 1
+#endif
+
+namespace drowsy::obs {
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket base-2 log-scale histogram for non-negative values.
+///
+/// Bucket 0 holds [0, 1); bucket i (1 <= i <= 32) holds [2^(i-1), 2^i);
+/// the final bucket holds [2^32, inf).  Bounds are compile-time fixed so
+/// two histograms always merge bucket-by-bucket and snapshots from
+/// different workers are directly addable — the property Prometheus-style
+/// dynamic buckets lack.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 34;  ///< 1 under + 32 log2 + 1 over
+
+  void observe(double v);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+  /// Inclusive lower bound of bucket i (0 for bucket 0).
+  [[nodiscard]] static double bucket_lower(std::size_t i);
+  /// Exclusive upper bound of bucket i (+inf for the last bucket).
+  [[nodiscard]] static double bucket_upper(std::size_t i);
+  /// Index of the bucket `v` lands in.
+  [[nodiscard]] static std::size_t bucket_index(double v);
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Named instrument store.  Instruments are created on first access and
+/// keep stable addresses for the registry's lifetime; callers resolve a
+/// name once at wiring time and hold the reference on the hot path.
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Deterministic snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {"count", "sum", "buckets": [nonzero rows]}}}
+  /// with names sorted; histogram rows list only non-empty buckets as
+  /// {"le": upper-bound, "count": n} to keep snapshots small.
+  [[nodiscard]] expctl::Json to_json() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace drowsy::obs
+
+// --- instrumentation macros ----------------------------------------------------
+//
+// Call sites write DROWSY_OBS_COUNT(registry.counter("x"), 1) — or better,
+// resolve the instrument once and write DROWSY_OBS_COUNT(hot_counter_, 1).
+// With DROWSY_OBS_ENABLED=0 the whole operand list vanishes unevaluated.
+#if DROWSY_OBS_ENABLED
+#define DROWSY_OBS_COUNT(counter_expr, n) ((counter_expr).add(n))
+#define DROWSY_OBS_SET(gauge_expr, v) ((gauge_expr).set(v))
+#define DROWSY_OBS_OBSERVE(histogram_expr, v) ((histogram_expr).observe(v))
+#else
+#define DROWSY_OBS_COUNT(counter_expr, n) ((void)0)
+#define DROWSY_OBS_SET(gauge_expr, v) ((void)0)
+#define DROWSY_OBS_OBSERVE(histogram_expr, v) ((void)0)
+#endif

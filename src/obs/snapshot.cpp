@@ -1,0 +1,85 @@
+#include "obs/snapshot.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace drowsy::obs {
+
+namespace {
+constexpr const char* kSchema = "drowsy-worker-metrics-v1";
+
+std::uint64_t require_uint(const expctl::Json& j, const char* key) {
+  return j.at(key).as_uint();
+}
+}  // namespace
+
+expctl::Json to_json(const WorkerSnapshot& snapshot) {
+  expctl::Json j = expctl::Json::object();
+  j.set("schema", expctl::Json(kSchema));
+  j.set("worker_id", expctl::Json(snapshot.worker_id));
+  j.set("updated_unix_ms", expctl::Json(snapshot.updated_unix_ms));
+  j.set("tasks_done", expctl::Json(snapshot.tasks_done));
+  j.set("tasks_failed", expctl::Json(snapshot.tasks_failed));
+  j.set("jobs_done", expctl::Json(snapshot.jobs_done));
+  j.set("journal_rows", expctl::Json(snapshot.journal_rows));
+  j.set("trace_cache_hits", expctl::Json(snapshot.trace_cache_hits));
+  j.set("trace_cache_misses", expctl::Json(snapshot.trace_cache_misses));
+  j.set("event_profile", snapshot.profile.to_json());
+  return j;
+}
+
+WorkerSnapshot snapshot_from_json(const expctl::Json& j) {
+  const std::string& schema = j.at("schema").as_string();
+  if (schema != kSchema) {
+    throw expctl::JsonError("worker snapshot: unknown schema '" + schema + "'");
+  }
+  WorkerSnapshot s;
+  s.worker_id = j.at("worker_id").as_string();
+  s.updated_unix_ms = require_uint(j, "updated_unix_ms");
+  s.tasks_done = require_uint(j, "tasks_done");
+  s.tasks_failed = require_uint(j, "tasks_failed");
+  s.jobs_done = require_uint(j, "jobs_done");
+  s.journal_rows = require_uint(j, "journal_rows");
+  s.trace_cache_hits = require_uint(j, "trace_cache_hits");
+  s.trace_cache_misses = require_uint(j, "trace_cache_misses");
+  s.profile = EventProfile::from_json(j.at("event_profile"));
+  return s;
+}
+
+void write_snapshot_file(const std::string& path, const WorkerSnapshot& snapshot) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  if (target.has_parent_path()) fs::create_directories(target.parent_path());
+  const std::string tmp = path + ".tmp";
+  const std::string body = to_json(snapshot).dump(2);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("cannot write " + tmp);
+  const std::size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = wrote == body.size() && std::fclose(f) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("short write to " + tmp);
+  }
+  fs::rename(tmp, target);  // atomic on POSIX: readers see old or new, never torn
+}
+
+WorkerSnapshot read_snapshot_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot read " + path);
+  std::string body;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  return snapshot_from_json(expctl::Json::parse(body));
+}
+
+std::uint64_t wall_clock_unix_ms() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+}
+
+}  // namespace drowsy::obs

@@ -51,16 +51,23 @@ std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs) {
 
 std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
                                         const CompletionCallback& on_complete) {
+  return run(jobs, on_complete, RunProbe{});
+}
+
+std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
+                                        const CompletionCallback& on_complete,
+                                        const RunProbe& probe) {
   std::vector<RunResult> results(jobs.size());
   TraceCache trace_cache;  // shared across the batch; every policy arm of a
                            // (scenario, seed) replicate reuses the same traces
   std::mutex complete_mutex;
+  const RunProbe* probe_ptr = probe ? &probe : nullptr;
   // parallel_for rethrows the first failing run's exception here.
   util::parallel_for(pool_, jobs.size(), [&](std::size_t i) {
     const BatchJob& job = jobs[i];
     const std::uint64_t seed = job.resolved_seed();
     const auto start = std::chrono::steady_clock::now();
-    results[i] = run_one(job.spec, job.policy, seed, &trace_cache);
+    results[i] = run_one(job.spec, job.policy, seed, &trace_cache, probe_ptr);
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();

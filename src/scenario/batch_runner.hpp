@@ -69,6 +69,14 @@ class BatchRunner {
   [[nodiscard]] std::vector<RunResult> run(const std::vector<BatchJob>& jobs,
                                            const CompletionCallback& on_complete);
 
+  /// Same, additionally attaching `probe` to every run (timelines, event
+  /// profiles — see scenario/probes.hpp).  The probe factory is invoked
+  /// from worker threads and must be thread-safe; per-run observers stay
+  /// thread-local.  Results are byte-identical with and without a probe.
+  [[nodiscard]] std::vector<RunResult> run(const std::vector<BatchJob>& jobs,
+                                           const CompletionCallback& on_complete,
+                                           const RunProbe& probe);
+
   [[nodiscard]] std::size_t thread_count() const { return pool_.thread_count(); }
 
   /// Trace-cache statistics of the most recent run() (for reporting).

@@ -424,8 +424,13 @@ RunResult harvest(const std::string& scenario_name, ScenarioRun& run) {
 }
 
 RunResult run_one(const ScenarioSpec& spec, Policy policy, std::uint64_t seed,
-                  TraceCache* trace_cache) {
+                  TraceCache* trace_cache, const RunProbe* probe) {
   std::unique_ptr<ScenarioRun> run = build(spec, policy, seed, trace_cache);
+  // The observer installs its hooks on the built run; declared after
+  // `run` so it is destroyed first (its destructor may detach the queue
+  // profile or flush a trace while the run is still alive).
+  std::unique_ptr<RunObserver> observer;
+  if (probe != nullptr && *probe) observer = (*probe)(spec, policy, seed, *run);
   run->controller->pretrain_models(static_cast<std::int64_t>(spec.pretrain_days) *
                                    util::kHoursPerDay);
   std::function<void(std::int64_t)> on_hour_end;
@@ -435,7 +440,9 @@ RunResult run_one(const ScenarioSpec& spec, Policy policy, std::uint64_t seed,
   run->controller->run_hours(static_cast<std::int64_t>(spec.duration_days) *
                                  util::kHoursPerDay,
                              on_hour_end);
-  return harvest(spec.name, *run);
+  RunResult result = harvest(spec.name, *run);
+  if (observer) observer->on_finished(result);
+  return result;
 }
 
 }  // namespace drowsy::scenario

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -247,9 +248,34 @@ struct RunResult {
 /// Collect a RunResult from a finished deployment.
 [[nodiscard]] RunResult harvest(const std::string& scenario_name, ScenarioRun& run);
 
+// --- observation -------------------------------------------------------------
+
+/// Per-run observer created by a RunProbe.  Constructed after build()
+/// (its constructor installs hooks on the freshly built ScenarioRun:
+/// host transition observers, queue profiling, fabric reachability
+/// hooks), notified once after harvest, destroyed before the run is —
+/// so its destructor may still touch run state (e.g. detach the queue
+/// profile, flush a trace file).
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+  /// Called once, after harvest, with the run's summary.
+  virtual void on_finished(const RunResult& result) { (void)result; }
+};
+
+/// Observer factory invoked per run.  BatchRunner calls it from worker
+/// threads, so the factory itself must be thread-safe; each returned
+/// observer is only ever used by the one thread driving its run.  May
+/// return null to skip observing a run.
+using RunProbe = std::function<std::unique_ptr<RunObserver>(
+    const ScenarioSpec& spec, Policy policy, std::uint64_t seed, ScenarioRun& run)>;
+
 /// Build, pretrain, simulate and summarize one (spec, policy, seed) triple.
 /// `trace_cache` (optional) memoizes trace synthesis across runs.
+/// `probe` (optional) observes the run; observation never alters results —
+/// the simulation output is byte-identical with and without it.
 [[nodiscard]] RunResult run_one(const ScenarioSpec& spec, Policy policy,
-                                std::uint64_t seed, TraceCache* trace_cache = nullptr);
+                                std::uint64_t seed, TraceCache* trace_cache = nullptr,
+                                const RunProbe* probe = nullptr);
 
 }  // namespace drowsy::scenario

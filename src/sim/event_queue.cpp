@@ -1,17 +1,27 @@
 #include "sim/event_queue.hpp"
 
 #include <cassert>
+#include <chrono>
+
+#include "obs/event_profile.hpp"
 
 namespace drowsy::sim {
 
-void EventQueue::schedule_at(util::SimTime at, std::function<void()> fn) {
+void EventQueue::schedule_at(util::SimTime at, std::function<void()> fn,
+                             obs::EventTag tag) {
   assert(at >= now_ && "cannot schedule in the past");
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+  heap_.push(Event{at, next_seq_++, std::move(fn), tag});
 }
 
 void EventQueue::schedule_after(util::SimTime delay, std::function<void()> fn) {
   assert(delay >= 0);
   schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::schedule_after(util::SimTime delay, std::function<void()> fn,
+                                obs::EventTag tag) {
+  assert(delay >= 0);
+  schedule_at(now_ + delay, std::move(fn), tag);
 }
 
 bool EventQueue::step() {
@@ -22,7 +32,16 @@ bool EventQueue::step() {
   heap_.pop();
   now_ = ev.at;
   ++executed_;
-  ev.fn();
+  if (profile_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ev.fn();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    profile_->record(ev.tag, static_cast<std::uint64_t>(ns));
+  } else {
+    ev.fn();
+  }
   return true;
 }
 

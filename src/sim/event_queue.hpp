@@ -3,6 +3,14 @@
 // A single-threaded future-event list: callbacks keyed by (time, sequence
 // number) executed in order.  Implements net::Dispatcher so the network
 // layer schedules frame deliveries on the same timeline.
+//
+// Observability: every event carries an obs::EventTag (defaulting to
+// Other) and the queue accepts an optional obs::EventProfile.  While a
+// profile is attached, step() attributes each dispatched event's count
+// and handler wall-time to its tag — the measurement substrate for the
+// ROADMAP item-2 event-core rebuild.  With no profile attached the cost
+// is one pointer test per event, and tags never influence ordering, so
+// profiled and unprofiled runs produce identical simulation output.
 #pragma once
 
 #include <cstdint>
@@ -11,7 +19,12 @@
 #include <vector>
 
 #include "net/sdn_switch.hpp"
+#include "obs/event_tag.hpp"
 #include "util/sim_time.hpp"
+
+namespace drowsy::obs {
+class EventProfile;
+}  // namespace drowsy::obs
 
 namespace drowsy::sim {
 
@@ -24,10 +37,20 @@ class EventQueue final : public net::Dispatcher {
   [[nodiscard]] util::SimTime now() const override { return now_; }
 
   /// Schedule `fn` at absolute time `at` (>= now).
-  void schedule_at(util::SimTime at, std::function<void()> fn);
+  void schedule_at(util::SimTime at, std::function<void()> fn,
+                   obs::EventTag tag = obs::EventTag::Other);
 
   /// Schedule `fn` after `delay` of simulated time (Dispatcher interface).
   void schedule_after(util::SimTime delay, std::function<void()> fn) override;
+  void schedule_after(util::SimTime delay, std::function<void()> fn,
+                      obs::EventTag tag) override;
+
+  /// Attach (or with nullptr, detach) a per-tag profile.  While attached,
+  /// each step() records the event's tag and handler wall-time into it.
+  /// The profile must outlive the attachment; callers detach before
+  /// tearing it down.
+  void set_profile(obs::EventProfile* profile) { profile_ = profile; }
+  [[nodiscard]] obs::EventProfile* profile() const { return profile_; }
 
   /// Execute the next event; returns false when the queue is empty.
   bool step();
@@ -47,6 +70,7 @@ class EventQueue final : public net::Dispatcher {
     util::SimTime at;
     std::uint64_t seq;
     std::function<void()> fn;
+    obs::EventTag tag;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -58,6 +82,7 @@ class EventQueue final : public net::Dispatcher {
   util::SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  obs::EventProfile* profile_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
 };
 

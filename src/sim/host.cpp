@@ -80,7 +80,9 @@ double Host::suspended_fraction(util::SimTime window_start) const {
 
 void Host::enter_state(PowerState next) {
   account_now();
+  const PowerState prev = state_;
   state_ = next;
+  for (const auto& hook : on_transition_) hook(prev, next);
 }
 
 bool Host::begin_suspend(std::function<void()> on_suspended) {
@@ -90,16 +92,18 @@ bool Host::begin_suspend(std::function<void()> on_suspended) {
   const std::uint64_t gen = ++transition_gen_;
   DROWSY_LOG_DEBUG("host", "%s suspending at %s", spec_.name.c_str(),
                    util::format_duration(queue_.now()).c_str());
-  queue_.schedule_after(model_.suspend_latency, [this, gen,
-                                                 cb = std::move(on_suspended)] {
-    if (transition_gen_ != gen) return;  // superseded
-    enter_state(PowerState::S3);
-    if (cb) cb();
-    if (resume_pending_) {
-      resume_pending_ = false;
-      begin_resume();
-    }
-  });
+  queue_.schedule_after(
+      model_.suspend_latency,
+      [this, gen, cb = std::move(on_suspended)] {
+        if (transition_gen_ != gen) return;  // superseded
+        enter_state(PowerState::S3);
+        if (cb) cb();
+        if (resume_pending_) {
+          resume_pending_ = false;
+          begin_resume();
+        }
+      },
+      obs::EventTag::Wake);
   return true;
 }
 
@@ -122,18 +126,21 @@ bool Host::begin_resume(std::function<void()> on_resumed) {
       quick_resume_ ? model_.quick_resume_latency : model_.resume_latency;
   resume_done_at_ = queue_.now() + latency;
   const std::uint64_t gen = ++transition_gen_;
-  queue_.schedule_after(latency, [this, gen] {
-    if (transition_gen_ != gen) return;
-    enter_state(PowerState::S0);
-    last_resume_at_ = queue_.now();
-    resume_done_at_ = 0;
-    // Timers that expired while asleep fire now, on wake-up.
-    for (Vm* vm : vms_) vm->guest().fire_due_timers(queue_.now());
-    auto waiters = std::move(resume_waiters_);
-    resume_waiters_.clear();
-    for (auto& w : waiters) w();
-    for (auto& hook : on_wake_) hook();
-  });
+  queue_.schedule_after(
+      latency,
+      [this, gen] {
+        if (transition_gen_ != gen) return;
+        enter_state(PowerState::S0);
+        last_resume_at_ = queue_.now();
+        resume_done_at_ = 0;
+        // Timers that expired while asleep fire now, on wake-up.
+        for (Vm* vm : vms_) vm->guest().fire_due_timers(queue_.now());
+        auto waiters = std::move(resume_waiters_);
+        resume_waiters_.clear();
+        for (auto& w : waiters) w();
+        for (auto& hook : on_wake_) hook();
+      },
+      obs::EventTag::Wake);
   return true;
 }
 

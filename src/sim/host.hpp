@@ -105,6 +105,17 @@ class Host {
   }
   [[nodiscard]] std::size_t on_wake_hook_count() const { return on_wake_.size(); }
 
+  /// Append a hook invoked on every power-state change, with the old and
+  /// new state, after accounting has been flushed to the transition
+  /// instant.  Same composition contract as add_on_wake: hooks run in
+  /// installation order and never displace one another.  This is the
+  /// timeline exporter's observation point — one choke point
+  /// (enter_state) sees every transition of the S0/Suspending/S3/Resuming
+  /// machine.
+  void add_on_transition(std::function<void(PowerState from, PowerState to)> hook) {
+    on_transition_.push_back(std::move(hook));
+  }
+
   // --- reachability ---------------------------------------------------------
   /// Network reachability as observed by the fabric's heartbeat monitors.
   /// An unreachable host cannot accept placements (can_host fails) and the
@@ -140,6 +151,7 @@ class Host {
   int resume_count_ = 0;
   bool reachable_ = true;
   std::vector<std::function<void()>> on_wake_;
+  std::vector<std::function<void(PowerState, PowerState)>> on_transition_;
   std::vector<std::function<void()>> resume_waiters_;
 };
 

@@ -42,7 +42,7 @@ void RequestFabric::schedule_hour(std::int64_t h) {
       p.dst = vm->ip();
       p.id = next_packet_id_++;
       q.schedule_at(hour_start + static_cast<util::SimTime>(t_ms),
-                    [this, p] { switch_.inject(p); });
+                    [this, p] { switch_.inject(p); }, obs::EventTag::Request);
     }
   }
 }
@@ -83,6 +83,7 @@ void RequestFabric::complete(util::SimTime arrival, bool woke) {
     ++stats_.woke_host;
     stats_.wake_latencies_ms.add(latency);
   }
+  for (const auto& hook : on_complete_) hook(cluster_.queue().now(), latency, woke);
 }
 
 }  // namespace drowsy::sim

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "net/sdn_switch.hpp"
 #include "sim/cluster.hpp"
@@ -58,6 +60,16 @@ class RequestFabric {
   [[nodiscard]] const RequestStats& stats() const { return stats_; }
   [[nodiscard]] const RequestConfig& config() const { return config_; }
 
+  /// Append an observer invoked at every request completion with the
+  /// completion instant, end-to-end latency and whether the request had
+  /// to wake its host.  Composes like Host::add_on_wake (installation
+  /// order, nothing displaced).  The timeline exporter uses this to stamp
+  /// SLA violations (latency > config().sla_ms) in sim time.
+  void add_on_complete(
+      std::function<void(util::SimTime at, double latency_ms, bool woke)> hook) {
+    on_complete_.push_back(std::move(hook));
+  }
+
  private:
   void deliver(HostId host_id, const net::Packet& packet);
   void complete(util::SimTime arrival, bool woke);
@@ -68,6 +80,7 @@ class RequestFabric {
   util::Rng rng_;
   RequestStats stats_;
   std::uint64_t next_packet_id_ = 1;
+  std::vector<std::function<void(util::SimTime, double, bool)>> on_complete_;
 };
 
 }  // namespace drowsy::sim

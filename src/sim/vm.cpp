@@ -33,13 +33,16 @@ kern::Pid Vm::add_scheduled_job(EventQueue& queue, std::string name,
       [&queue, guest, pid_box, work_duration, on_run = std::move(on_run)](
           util::SimTime fired_at) {
         if (on_run) on_run(fired_at);
-        queue.schedule_after(work_duration, [guest, pid_box] {
-          if (kern::Process* p = guest->processes().find(*pid_box)) {
-            // Only end the work if no later firing re-marked it Running in
-            // the meantime (duration shorter than the period in practice).
-            p->state = kern::ProcState::Sleeping;
-          }
-        });
+        queue.schedule_after(
+            work_duration,
+            [guest, pid_box] {
+              if (kern::Process* p = guest->processes().find(*pid_box)) {
+                // Only end the work if no later firing re-marked it Running in
+                // the meantime (duration shorter than the period in practice).
+                p->state = kern::ProcState::Sleeping;
+              }
+            },
+            obs::EventTag::Hrtimer);
       });
   *pid_box = pid;
   return pid;

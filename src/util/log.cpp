@@ -1,13 +1,16 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <ctime>
 #include <mutex>
+#include <utility>
 
 namespace drowsy::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_sink_mutex;
+LogSink g_sink;  // empty = default stderr sink; guarded by g_sink_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,15 +23,37 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// UTC wall-clock stamp ("2026-08-08T12:00:00Z") so interleaved daemon
+/// logs from different machines line up without timezone archaeology.
+void default_sink(LogLevel level, const char* component, const std::string& message) {
+  char stamp[32] = "";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  }
+  std::fprintf(stderr, "%s [%-5s] %-12s %s\n", stamp, level_name(level), component,
+               message.c_str());
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_message(LogLevel level, const char* component, const std::string& message) {
   std::lock_guard lock(g_sink_mutex);
-  std::fprintf(stderr, "[%-5s] %-12s %s\n", level_name(level), component, message.c_str());
+  if (g_sink) {
+    g_sink(level, component, message);
+  } else {
+    default_sink(level, component, message);
+  }
 }
 
 }  // namespace drowsy::util

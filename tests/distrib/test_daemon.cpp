@@ -17,6 +17,7 @@
 #include "distrib/merge.hpp"
 #include "expctl/runs_io.hpp"
 #include "expctl/spec_io.hpp"
+#include "obs/snapshot.hpp"
 #include "scenario/registry.hpp"
 
 namespace dt = drowsy::distrib;
@@ -212,4 +213,71 @@ TEST_F(DaemonFixture, UnusableQueueThrows) {
   EXPECT_THROW(static_cast<void>(dt::run_daemon(bad_worker)), dt::DistribError);
   dt::DaemonOptions empty_worker = options(root, "");
   EXPECT_THROW(static_cast<void>(dt::run_daemon(empty_worker)), dt::DistribError);
+}
+
+TEST_F(DaemonFixture, StaleClaimsPreferTheMetricsHeartbeat) {
+  namespace obs = drowsy::obs;
+  const fs::path root = make_queue("heartbeat", 2);
+  // Manifest mtimes date from `shard plan` (rename preserves them), so a
+  // two-hour-old manifest alone says nothing about worker liveness.
+  const fs::path claimed = root / "claimed" / "slowworker";
+  fs::create_directories(claimed);
+  fs::rename(root / "shard_0.json", claimed / "shard_0.json");
+  fs::last_write_time(claimed / "shard_0.json",
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+
+  // A fresh metrics snapshot is a heartbeat: the claim is not stale even
+  // though the manifest is ancient.
+  obs::WorkerSnapshot snap;
+  snap.worker_id = "slowworker";
+  snap.updated_unix_ms = obs::wall_clock_unix_ms();
+  obs::write_snapshot_file((root / "metrics" / "slowworker.json").string(), snap);
+  EXPECT_TRUE(dt::find_stale_claims(root.string(), 3600.0).empty());
+
+  // Once the heartbeat itself goes silent, the claim is stale again —
+  // and flagged as judged by the snapshot, not the manifest.
+  fs::last_write_time(root / "metrics" / "slowworker.json",
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+  const auto stale = dt::find_stale_claims(root.string(), 3600.0);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].worker_id, "slowworker");
+  EXPECT_TRUE(stale[0].from_snapshot);
+  EXPECT_GE(stale[0].age_s, 3600.0);
+
+  // A worker without a snapshot still falls back to the manifest mtime.
+  const fs::path claimed2 = root / "claimed" / "quietworker";
+  fs::create_directories(claimed2);
+  fs::rename(root / "shard_1.json", claimed2 / "shard_1.json");
+  fs::last_write_time(claimed2 / "shard_1.json",
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+  const auto both = dt::find_stale_claims(root.string(), 3600.0);
+  ASSERT_EQ(both.size(), 2u);
+  for (const dt::StaleClaim& claim : both) {
+    if (claim.worker_id == "quietworker") {
+      EXPECT_FALSE(claim.from_snapshot);
+    }
+    if (claim.worker_id == "slowworker") {
+      EXPECT_TRUE(claim.from_snapshot);
+    }
+  }
+}
+
+TEST_F(DaemonFixture, DaemonPublishesAMetricsSnapshot) {
+  namespace obs = drowsy::obs;
+  const fs::path root = make_queue("metrics", 2);
+  const dt::DaemonOutcome outcome = dt::run_daemon(options(root, "w1"));
+  EXPECT_EQ(outcome.completed, 2u);
+
+  const obs::WorkerSnapshot snap =
+      obs::read_snapshot_file((root / "metrics" / "w1.json").string());
+  EXPECT_EQ(snap.worker_id, "w1");
+  EXPECT_GT(snap.updated_unix_ms, 0u);
+  EXPECT_EQ(snap.tasks_done, 2u);
+  EXPECT_EQ(snap.tasks_failed, 0u);
+  EXPECT_EQ(snap.jobs_done, grid().size());
+  EXPECT_EQ(snap.journal_rows, grid().size());
+  // The event-core profile accumulated across every executed run.
+  EXPECT_GT(snap.profile.total_events(), 0u);
+  // Every executed task materialized at least one workload trace.
+  EXPECT_GT(snap.trace_cache_misses, 0u);
 }

@@ -1,0 +1,84 @@
+// EventProfile: recording, merge, and the strict JSON round-trip the
+// bench breakdown and worker snapshots rely on.
+#include <gtest/gtest.h>
+
+#include "expctl/json.hpp"
+#include "obs/event_profile.hpp"
+
+namespace ec = drowsy::expctl;
+namespace obs = drowsy::obs;
+
+TEST(EventProfile, RecordAndTotalsAgree) {
+  obs::EventProfile p;
+  EXPECT_TRUE(p.empty());
+  p.record(obs::EventTag::Request, 100);
+  p.record(obs::EventTag::Request, 50);
+  p.record(obs::EventTag::Heartbeat, 7);
+  EXPECT_EQ(p.events(obs::EventTag::Request), 2u);
+  EXPECT_EQ(p.dispatch_ns(obs::EventTag::Request), 150u);
+  EXPECT_EQ(p.total_events(), 3u);
+  EXPECT_EQ(p.total_dispatch_ns(), 157u);
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(EventProfile, MergeAddsPerTag) {
+  obs::EventProfile a;
+  obs::EventProfile b;
+  a.record(obs::EventTag::Wake, 10);
+  b.record(obs::EventTag::Wake, 5);
+  b.record(obs::EventTag::Hrtimer, 1);
+  a.merge(b);
+  EXPECT_EQ(a.events(obs::EventTag::Wake), 2u);
+  EXPECT_EQ(a.dispatch_ns(obs::EventTag::Wake), 15u);
+  EXPECT_EQ(a.events(obs::EventTag::Hrtimer), 1u);
+  EXPECT_EQ(a.total_events(), 3u);
+}
+
+TEST(EventProfile, JsonRoundTripIsExact) {
+  obs::EventProfile p;
+  p.record(obs::EventTag::SuspendCheck, 123456789);
+  p.record(obs::EventTag::NetsimFrame, 1);
+  p.record(obs::EventTag::NetsimFrame, 0);
+  const obs::EventProfile back = obs::EventProfile::from_json(p.to_json());
+  for (const obs::EventTag tag : obs::all_event_tags()) {
+    EXPECT_EQ(back.events(tag), p.events(tag)) << obs::to_string(tag);
+    EXPECT_EQ(back.dispatch_ns(tag), p.dispatch_ns(tag)) << obs::to_string(tag);
+  }
+  // And byte-stable: dumping the round-tripped profile reproduces the file.
+  EXPECT_EQ(back.to_json().dump(), p.to_json().dump());
+}
+
+TEST(EventProfile, ToJsonListsEveryTagInEnumOrder) {
+  const ec::Json j = obs::EventProfile().to_json();
+  const auto& tags = j.at("tags").elements();
+  ASSERT_EQ(tags.size(), obs::kEventTagCount);
+  std::size_t i = 0;
+  for (const obs::EventTag tag : obs::all_event_tags()) {
+    EXPECT_EQ(tags[i].at("tag").as_string(), obs::to_string(tag));
+    ++i;
+  }
+}
+
+TEST(EventProfile, FromJsonRejectsUnknownTagsAndBadTotals) {
+  obs::EventProfile p;
+  p.record(obs::EventTag::Request, 1);
+
+  ec::Json unknown = p.to_json();
+  // Rename a tag to something no enum value produces.
+  ec::Json tags = ec::Json::array();
+  for (const ec::Json& row : unknown.at("tags").elements()) {
+    ec::Json r = ec::Json::object();
+    r.set("tag", ec::Json(std::string("bogus-") + row.at("tag").as_string()));
+    r.set("events", row.at("events"));
+    r.set("dispatch_ns", row.at("dispatch_ns"));
+    tags.push_back(std::move(r));
+  }
+  unknown.set("tags", std::move(tags));
+  EXPECT_THROW(static_cast<void>(obs::EventProfile::from_json(unknown)),
+               ec::JsonError);
+
+  ec::Json mismatched = p.to_json();
+  mismatched.set("total_events", ec::Json(std::uint64_t{999}));
+  EXPECT_THROW(static_cast<void>(obs::EventProfile::from_json(mismatched)),
+               ec::JsonError);
+}

@@ -1,0 +1,122 @@
+// Metrics registry: histogram bucket contract, merge, deterministic dump.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.hpp"
+
+namespace obs = drowsy::obs;
+
+TEST(Histogram, BucketBoundariesCoverTheLineExactlyOnce) {
+  // Bucket 0 = [0, 1); bucket i = [2^(i-1), 2^i) for 1 <= i <= 32;
+  // bucket 33 = [2^32, inf).  Lower bounds are inclusive, uppers
+  // exclusive — a value on a power-of-two boundary lands in the bucket
+  // whose *lower* bound it equals.
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(0.999), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1.0), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1.999), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_index(2.0), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(3.0), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(4.0), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_index(4294967295.0), 32u);   // 2^32 - 1
+  EXPECT_EQ(obs::Histogram::bucket_index(4294967296.0), 33u);   // 2^32
+  EXPECT_EQ(obs::Histogram::bucket_index(1e300), 33u);
+
+  // Every bucket's own bounds agree with bucket_index on both edges.
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    EXPECT_EQ(obs::Histogram::bucket_index(obs::Histogram::bucket_lower(i)), i)
+        << "bucket " << i;
+    const double upper = obs::Histogram::bucket_upper(i);
+    if (std::isfinite(upper)) {
+      EXPECT_EQ(obs::Histogram::bucket_index(std::nextafter(upper, 0.0)), i)
+          << "bucket " << i;
+      EXPECT_EQ(obs::Histogram::bucket_index(upper), i + 1) << "bucket " << i;
+    }
+  }
+}
+
+TEST(Histogram, DegenerateInputsFoldIntoTheUnderBucket) {
+  EXPECT_EQ(obs::Histogram::bucket_index(-1.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(-1e300), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(std::nan("")), 0u);
+}
+
+TEST(Histogram, ObserveAccumulatesCountSumAndBucket) {
+  obs::Histogram h;
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(3.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 7.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+}
+
+TEST(Histogram, MergeIsBucketwiseAddition) {
+  obs::Histogram a;
+  obs::Histogram b;
+  a.observe(1.0);
+  a.observe(100.0);
+  b.observe(1.5);
+  b.observe(1e10);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 1.0 + 100.0 + 1.5 + 1e10);
+  EXPECT_EQ(a.bucket(1), 2u);  // 1.0 and 1.5
+  EXPECT_EQ(a.bucket(obs::Histogram::bucket_index(100.0)), 1u);
+  EXPECT_EQ(a.bucket(obs::Histogram::bucket_index(1e10)), 1u);
+}
+
+TEST(Registry, InstrumentsKeepStableAddresses) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("jobs");
+  c.add(2);
+  // Re-resolving the same name returns the same instrument; creating
+  // more instruments must not invalidate held references.
+  for (int i = 0; i < 100; ++i) {
+    static_cast<void>(reg.counter("filler-" + std::to_string(i)));
+  }
+  EXPECT_EQ(&reg.counter("jobs"), &c);
+  EXPECT_EQ(reg.counter("jobs").value(), 2u);
+  EXPECT_EQ(reg.size(), 101u);
+}
+
+TEST(Registry, ToJsonIsSortedAndByteStable) {
+  obs::Registry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("queue_depth").set(3.5);
+  reg.histogram("latency_ms").observe(12.0);
+  reg.histogram("latency_ms").observe(0.25);
+
+  const std::string dump = reg.to_json().dump();
+  // Names render sorted regardless of creation order.
+  EXPECT_LT(dump.find("\"alpha\""), dump.find("\"zeta\""));
+
+  // An identical registry built in a different order dumps identical bytes.
+  obs::Registry reg2;
+  reg2.histogram("latency_ms").observe(0.25);
+  reg2.gauge("queue_depth").set(3.5);
+  reg2.counter("alpha").add(2);
+  reg2.histogram("latency_ms").observe(12.0);
+  reg2.counter("zeta").add(1);
+  EXPECT_EQ(reg2.to_json().dump(), dump);
+
+  // Histogram rows list only non-empty buckets.
+  const drowsy::expctl::Json j = drowsy::expctl::Json::parse(dump);
+  const drowsy::expctl::Json& hist = j.at("histograms").at("latency_ms");
+  EXPECT_EQ(hist.at("count").as_uint(), 2u);
+  EXPECT_EQ(hist.at("buckets").size(), 2u);
+}
+
+TEST(Macros, EnabledMacrosEvaluateTheirOperands) {
+  obs::Registry reg;
+  DROWSY_OBS_COUNT(reg.counter("c"), 3);
+  DROWSY_OBS_SET(reg.gauge("g"), 1.5);
+  DROWSY_OBS_OBSERVE(reg.histogram("h"), 2.0);
+  EXPECT_EQ(reg.counter("c").value(), 3u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 1.5);
+  EXPECT_EQ(reg.histogram("h").count(), 1u);
+}

@@ -1,0 +1,48 @@
+// Compile-out contract: with DROWSY_OBS_ENABLED=0 the DROWSY_OBS_*
+// macros reduce to ((void)0) and their operand expressions are never
+// evaluated — an instrumented hot path costs nothing when disabled.
+//
+// This TU forces the switch off *before* including the header, the same
+// mechanism a per-target compile definition uses, and proves both halves:
+// the registry is never touched (no instruments created) and the operand
+// side effects never run.
+#define DROWSY_OBS_ENABLED 0
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace obs = drowsy::obs;
+
+namespace {
+
+int g_operand_evaluations = 0;
+
+// [[maybe_unused]] is itself evidence of the contract: with the macros
+// disabled, nothing in this TU references the function.
+[[maybe_unused]] obs::Registry& counting_registry(obs::Registry& reg) {
+  ++g_operand_evaluations;
+  return reg;
+}
+
+}  // namespace
+
+TEST(NoopMode, MacrosCompileToNothingObservable) {
+  obs::Registry reg;
+  DROWSY_OBS_COUNT(counting_registry(reg).counter("never"), 1);
+  DROWSY_OBS_SET(counting_registry(reg).gauge("never"), 2.0);
+  DROWSY_OBS_OBSERVE(counting_registry(reg).histogram("never"), 3.0);
+  EXPECT_EQ(g_operand_evaluations, 0) << "disabled macro evaluated its operands";
+  EXPECT_EQ(reg.size(), 0u) << "disabled macro touched the registry";
+}
+
+TEST(NoopMode, MacrosAreStatementsInControlFlow) {
+  // A no-op macro must still parse as a single statement — braceless ifs
+  // are the classic way a careless expansion breaks call sites.
+  obs::Registry reg;
+  bool flag = true;
+  if (flag)
+    DROWSY_OBS_COUNT(reg.counter("x"), 1);
+  else
+    DROWSY_OBS_SET(reg.gauge("y"), 1.0);
+  EXPECT_EQ(reg.size(), 0u);
+}

@@ -1,0 +1,87 @@
+// Worker metrics snapshots: schema round-trip and the atomic file dance.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "expctl/json.hpp"
+#include "obs/snapshot.hpp"
+
+namespace ec = drowsy::expctl;
+namespace fs = std::filesystem;
+namespace obs = drowsy::obs;
+
+namespace {
+
+obs::WorkerSnapshot sample() {
+  obs::WorkerSnapshot s;
+  s.worker_id = "worker-a";
+  s.updated_unix_ms = 1754650000000;
+  s.tasks_done = 3;
+  s.tasks_failed = 1;
+  s.jobs_done = 42;
+  s.journal_rows = 45;
+  s.trace_cache_hits = 30;
+  s.trace_cache_misses = 12;
+  s.profile.record(obs::EventTag::Heartbeat, 900);
+  s.profile.record(obs::EventTag::Request, 120);
+  return s;
+}
+
+}  // namespace
+
+TEST(WorkerSnapshot, JsonRoundTripPreservesEveryField) {
+  const obs::WorkerSnapshot s = sample();
+  const obs::WorkerSnapshot back = obs::snapshot_from_json(obs::to_json(s));
+  EXPECT_EQ(back.worker_id, s.worker_id);
+  EXPECT_EQ(back.updated_unix_ms, s.updated_unix_ms);
+  EXPECT_EQ(back.tasks_done, s.tasks_done);
+  EXPECT_EQ(back.tasks_failed, s.tasks_failed);
+  EXPECT_EQ(back.jobs_done, s.jobs_done);
+  EXPECT_EQ(back.journal_rows, s.journal_rows);
+  EXPECT_EQ(back.trace_cache_hits, s.trace_cache_hits);
+  EXPECT_EQ(back.trace_cache_misses, s.trace_cache_misses);
+  EXPECT_EQ(back.profile.total_events(), s.profile.total_events());
+  EXPECT_EQ(obs::to_json(back).dump(), obs::to_json(s).dump());
+}
+
+TEST(WorkerSnapshot, SchemaStringIsCheckedStrictly) {
+  ec::Json j = obs::to_json(sample());
+  EXPECT_EQ(j.at("schema").as_string(), "drowsy-worker-metrics-v1");
+  j.set("schema", ec::Json("drowsy-worker-metrics-v999"));
+  EXPECT_THROW(static_cast<void>(obs::snapshot_from_json(j)), ec::JsonError);
+}
+
+TEST(WorkerSnapshot, MissingFieldsAreErrorsNotDefaults) {
+  // A snapshot with a field silently defaulting to 0 would make a live
+  // worker look idle; every field is required.
+  const ec::Json full = obs::to_json(sample());
+  for (const auto& [key, value] : full.items()) {
+    ec::Json partial = ec::Json::object();
+    for (const auto& [k2, v2] : full.items()) {
+      if (k2 != key) partial.set(k2, v2);
+    }
+    EXPECT_THROW(static_cast<void>(obs::snapshot_from_json(partial)), ec::JsonError)
+        << "missing '" << key << "' was accepted";
+  }
+}
+
+TEST(WorkerSnapshot, FileRoundTripCreatesDirectoriesAndLeavesNoTmp) {
+  const fs::path dir = fs::temp_directory_path() / "drowsy_snapshot_test";
+  fs::remove_all(dir);
+  const fs::path path = dir / "metrics" / "worker-a.json";
+
+  const obs::WorkerSnapshot s = sample();
+  obs::write_snapshot_file(path.string(), s);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp")) << "tmp file left behind";
+
+  const obs::WorkerSnapshot back = obs::read_snapshot_file(path.string());
+  EXPECT_EQ(obs::to_json(back).dump(), obs::to_json(s).dump());
+
+  // Overwrite in place (the per-poll flush path).
+  obs::WorkerSnapshot s2 = s;
+  s2.jobs_done = 100;
+  obs::write_snapshot_file(path.string(), s2);
+  EXPECT_EQ(obs::read_snapshot_file(path.string()).jobs_done, 100u);
+  fs::remove_all(dir);
+}

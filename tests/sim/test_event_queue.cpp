@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "obs/event_profile.hpp"
+
 namespace s = drowsy::sim;
 namespace u = drowsy::util;
 
@@ -136,4 +138,39 @@ TEST(EventQueue, StartTimeOffset) {
   q.run_all();
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(q.now(), u::hours(100.0) + u::seconds(1));
+}
+
+TEST(EventQueue, ProfileAttributesEveryEventToItsTag) {
+  namespace obs = drowsy::obs;
+  s::EventQueue q;
+  obs::EventProfile profile;
+  q.set_profile(&profile);
+  // Tagged and untagged events; untagged default to Other.
+  q.schedule_at(u::seconds(1), [] {}, obs::EventTag::Heartbeat);
+  q.schedule_at(u::seconds(2), [] {}, obs::EventTag::Heartbeat);
+  q.schedule_at(u::seconds(3), [] {}, obs::EventTag::Request);
+  q.schedule_at(u::seconds(4), [] {});
+  q.schedule_after(u::seconds(5), [] {}, obs::EventTag::Wake);
+  q.run_all();
+  EXPECT_EQ(profile.events(obs::EventTag::Heartbeat), 2u);
+  EXPECT_EQ(profile.events(obs::EventTag::Request), 1u);
+  EXPECT_EQ(profile.events(obs::EventTag::Wake), 1u);
+  EXPECT_EQ(profile.events(obs::EventTag::Other), 1u);
+  // The invariant the bench breakdown advertises: tag counts sum to the
+  // queue's executed total.
+  EXPECT_EQ(profile.total_events(), q.executed());
+}
+
+TEST(EventQueue, DetachedProfileStopsRecording) {
+  namespace obs = drowsy::obs;
+  s::EventQueue q;
+  obs::EventProfile profile;
+  q.set_profile(&profile);
+  q.schedule_at(u::seconds(1), [] {}, drowsy::obs::EventTag::Wake);
+  q.run_all();
+  q.set_profile(nullptr);
+  q.schedule_at(u::seconds(2), [] {}, drowsy::obs::EventTag::Wake);
+  q.run_all();
+  EXPECT_EQ(profile.total_events(), 1u);
+  EXPECT_EQ(q.executed(), 2u);
 }

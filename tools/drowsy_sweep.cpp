@@ -4,13 +4,17 @@
 //   drowsy_sweep run <sweep.json> [--threads N] [--alpha A]
 //                    [--csv stats.csv] [--runs-csv runs.csv]
 //                    [--json stats.json] [--verdicts-csv verdicts.csv]
-//                    [--bench-json bench.json]
+//                    [--bench-json bench.json] [--trace-out DIR]
+//                    [--metrics-json metrics.json]
 //       Expand the sweep into its (scenario x axes x policy x seed) job
 //       grid, execute it on the parallel BatchRunner (traces materialized
 //       once per sweep via TraceCache), print the replicate-statistics
 //       table (mean ± CI-95) and the per-policy-pair Welch verdicts, and
 //       optionally write CSV/JSON artifacts plus a wall-clock/trace-cache
-//       benchmark record.
+//       benchmark record.  --trace-out writes one Perfetto-loadable
+//       timeline per run into DIR, stamped in sim time and byte-identical
+//       at any --threads value; --metrics-json flushes a worker metrics
+//       snapshot (obs/snapshot.hpp) after every finished run.
 //   drowsy_sweep validate <sweep.json>
 //       Parse and expand without running; prints the job count.
 //   drowsy_sweep list
@@ -41,10 +45,13 @@
 //                    [--queue-dir D] [--stale-after-s S] [--json]
 //       Coverage report: completed/missing/duplicate/foreign counts plus
 //       per-journal measured wall-clock totals.  With --queue-dir, also
-//       warn about manifests parked in claimed/<worker>/ longer than the
-//       threshold (default 900 s) — a dead worker's shard.  --json emits
-//       the same report as one JSON document (stale claims included) for
-//       reapers and dashboards; exit codes are unchanged.
+//       merge every worker's metrics snapshot (<queue>/metrics/*.json)
+//       into the fleet view and warn about manifests parked in
+//       claimed/<worker>/ whose worker has not been seen for longer than
+//       the threshold (default 900 s) — staleness prefers the worker's
+//       snapshot heartbeat over the manifest's mtime.  --json emits the
+//       same report as one JSON document (stale claims and workers
+//       included) for reapers and dashboards; exit codes are unchanged.
 //   drowsy_sweep shard daemon <queue-dir> [--worker-id W] [--threads N]
 //                    [--poll-ms P] [--max-idle-s S]
 //       Long-running worker: claim manifests from the queue directory
@@ -73,12 +80,15 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -90,9 +100,12 @@
 #include "expctl/report.hpp"
 #include "expctl/runs_io.hpp"
 #include "expctl/spec_io.hpp"
+#include "obs/snapshot.hpp"
 #include "scenario/batch_runner.hpp"
+#include "scenario/probes.hpp"
 #include "scenario/registry.hpp"
 #include "study/study.hpp"
+#include "util/log.hpp"
 
 namespace dt = drowsy::distrib;
 namespace ec = drowsy::expctl;
@@ -104,7 +117,8 @@ namespace {
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s run <sweep.json> [--threads N] [--alpha A] [--csv F]"
-               " [--runs-csv F] [--json F] [--verdicts-csv F] [--bench-json F]\n"
+               " [--runs-csv F] [--json F] [--verdicts-csv F] [--bench-json F]"
+               " [--trace-out DIR] [--metrics-json F]\n"
                "       %s validate <sweep.json>\n"
                "       %s list\n"
                "       %s dump [<scenario>...]\n"
@@ -271,6 +285,8 @@ struct RunOptions {
   std::size_t threads = 0;  // hardware concurrency
   EmitOptions emit;
   std::string bench_json;
+  std::string trace_out;     ///< directory for per-run Perfetto timelines
+  std::string metrics_json;  ///< worker metrics snapshot, flushed per run
 };
 
 int cmd_run(const RunOptions& opts) {
@@ -280,8 +296,36 @@ int cmd_run(const RunOptions& opts) {
   sc::BatchRunner runner(opts.threads);
   std::printf("== %s: %zu runs (%zu threads) ==\n\n", loaded.sweep.name.c_str(),
               jobs.size(), runner.thread_count());
+
+  // Observability side-channels.  Timelines are deterministic (sim-time
+  // stamped); the metrics snapshot is wall-clock and advisory, flushed
+  // after every finished run so a dashboard can watch a long sweep.
+  std::vector<sc::RunProbe> probes;
+  if (!opts.trace_out.empty()) probes.push_back(sc::timeline_probe(opts.trace_out));
+  drowsy::obs::WorkerSnapshot snap;
+  std::mutex snap_mutex;
+  snap.worker_id = "drowsy_sweep-run";
+  const auto flush_metrics_locked = [&]() {
+    snap.updated_unix_ms = drowsy::obs::wall_clock_unix_ms();
+    drowsy::obs::write_snapshot_file(opts.metrics_json, snap);
+  };
+  sc::BatchRunner::CompletionCallback on_complete;
+  if (!opts.metrics_json.empty()) {
+    probes.push_back(sc::profile_probe([&](const drowsy::obs::EventProfile& p) {
+      const std::lock_guard<std::mutex> lock(snap_mutex);
+      snap.profile.merge(p);
+    }));
+    on_complete = [&](std::size_t, const sc::RunResult&, double) {
+      const std::lock_guard<std::mutex> lock(snap_mutex);
+      ++snap.jobs_done;
+      flush_metrics_locked();
+    };
+  }
+  const sc::RunProbe probe =
+      probes.empty() ? sc::RunProbe{} : sc::combine_probes(std::move(probes));
+
   const auto start = std::chrono::steady_clock::now();
-  const auto results = runner.run(jobs);
+  const auto results = runner.run(jobs, on_complete, probe);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
@@ -289,6 +333,16 @@ int cmd_run(const RunOptions& opts) {
   std::printf("\ntraces materialized: %llu (reused %llu times)\n",
               static_cast<unsigned long long>(runner.last_trace_misses()),
               static_cast<unsigned long long>(runner.last_trace_hits()));
+  if (!opts.trace_out.empty()) {
+    std::printf("run timelines: %zu file(s) in %s\n", jobs.size(),
+                opts.trace_out.c_str());
+  }
+  if (!opts.metrics_json.empty()) {
+    const std::lock_guard<std::mutex> lock(snap_mutex);
+    snap.trace_cache_hits = runner.last_trace_hits();
+    snap.trace_cache_misses = runner.last_trace_misses();
+    flush_metrics_locked();
+  }
 
   if (!opts.bench_json.empty()) {
     ec::Json bench = ec::Json::object();
@@ -512,8 +566,8 @@ std::vector<dt::JournalEntry> read_journal_set(
   for (const std::string& path : paths) {
     const dt::JournalContents contents = dt::read_journal(path);
     if (contents.truncated_tail) {
-      std::fprintf(stderr, "note: %s has a torn final row (crashed shard?); ignored\n",
-                   path.c_str());
+      DROWSY_LOG_WARN("sweep", "%s has a torn final row (crashed shard?); ignored",
+                      path.c_str());
     }
     if (per_journal) per_journal(path, contents);
     entries.insert(entries.end(), contents.entries.begin(), contents.entries.end());
@@ -580,8 +634,32 @@ int cmd_shard_status(int argc, char** argv) {
   // id returns; surface them so the operator can restart or re-enqueue
   // (the first step toward an automatic reaper).
   std::vector<dt::StaleClaim> stale;
+  // The fleet view: every worker's metrics snapshot under
+  // <queue>/metrics/, in worker-id order.  Unreadable or torn files are
+  // skipped with a warning — status must report the fleet, not die on
+  // one worker's bad flush.
+  std::vector<drowsy::obs::WorkerSnapshot> workers;
   if (!opts.queue_dir.empty()) {
     stale = dt::find_stale_claims(opts.queue_dir, opts.stale_after_s);
+    const std::filesystem::path mdir = std::filesystem::path(opts.queue_dir) / "metrics";
+    std::error_code ec_dir;
+    if (std::filesystem::is_directory(mdir, ec_dir)) {
+      std::vector<std::string> paths;
+      for (const auto& entry : std::filesystem::directory_iterator(mdir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".json") {
+          paths.push_back(entry.path().string());
+        }
+      }
+      std::sort(paths.begin(), paths.end());
+      for (const std::string& path : paths) {
+        try {
+          workers.push_back(drowsy::obs::read_snapshot_file(path));
+        } catch (const std::exception& e) {
+          DROWSY_LOG_WARN("sweep", "skipping unreadable worker snapshot %s: %s",
+                          path.c_str(), e.what());
+        }
+      }
+    }
   }
   if (opts.json) {
     // One JSON document on stdout; the exit code still carries the
@@ -612,10 +690,16 @@ int cmd_shard_status(int argc, char** argv) {
       row.set("manifest", claim.manifest_path);
       row.set("worker_id", claim.worker_id);
       row.set("age_s", claim.age_s);
+      row.set("from_snapshot", claim.from_snapshot);
       row.set("queue_dir", opts.queue_dir);
       claims.push_back(std::move(row));
     }
     j.set("stale_claims", std::move(claims));
+    ec::Json fleet = ec::Json::array();
+    for (const drowsy::obs::WorkerSnapshot& w : workers) {
+      fleet.push_back(drowsy::obs::to_json(w));
+    }
+    j.set("workers", std::move(fleet));
     std::printf("%s\n", j.dump(2).c_str());
     return cov.complete() ? 0 : 3;
   }
@@ -633,11 +717,20 @@ int cmd_shard_status(int argc, char** argv) {
     std::printf("  foreign rows: %zu (e.g. %s)\n", cov.foreign.size(),
                 cov.foreign.front().c_str());
   }
+  for (const drowsy::obs::WorkerSnapshot& w : workers) {
+    std::printf("  worker %-20s %llu job(s), %llu task(s) done, %llu failed, "
+                "%llu events profiled\n",
+                w.worker_id.c_str(), static_cast<unsigned long long>(w.jobs_done),
+                static_cast<unsigned long long>(w.tasks_done),
+                static_cast<unsigned long long>(w.tasks_failed),
+                static_cast<unsigned long long>(w.profile.total_events()));
+  }
   for (const dt::StaleClaim& claim : stale) {
     std::printf(
-        "  warning: stale claim %s (worker %s, unclaimed-for %.0f s) — restart a "
+        "  warning: stale claim %s (worker %s, %s %.0f s) — restart a "
         "daemon with --worker-id %s or move the manifest back to the queue root\n",
-        claim.manifest_path.c_str(), claim.worker_id.c_str(), claim.age_s,
+        claim.manifest_path.c_str(), claim.worker_id.c_str(),
+        claim.from_snapshot ? "heartbeat-silent-for" : "unclaimed-for", claim.age_s,
         claim.worker_id.c_str());
   }
   return cov.complete() ? 0 : 3;  // distinct from hard errors (1) and usage (2)
@@ -680,6 +773,10 @@ int cmd_shard_daemon(int argc, char** argv) {
     }
   }
   if (opts.queue_dir.empty()) return usage(argv[0]);
+
+  // Daemons run unattended; their util::log diagnostics (snapshot write
+  // failures, torn journals) must reach the operator's log, timestamped.
+  drowsy::util::set_log_level(drowsy::util::LogLevel::Info);
 
   std::printf("== daemon %s serving %s (poll %u ms, max idle %.1f s) ==\n",
               opts.worker_id.c_str(), opts.queue_dir.c_str(), opts.poll_ms,
@@ -872,6 +969,10 @@ int main(int argc, char** argv) {
           opts.threads = static_cast<std::size_t>(parse_threads(value("--threads")));
         } else if (std::strcmp(argv[i], "--bench-json") == 0) {
           opts.bench_json = value("--bench-json");
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+          opts.trace_out = value("--trace-out");
+        } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+          opts.metrics_json = value("--metrics-json");
         } else if (parse_emit_flag(argc, argv, i, opts.emit)) {
           // handled
         } else if (opts.sweep_path.empty() && argv[i][0] != '-') {
