@@ -2,8 +2,13 @@
 // grains the ROADMAP's scale item cares about:
 //
 //   events/sec  raw EventQueue dispatch: a scatter of no-op events with
-//               shuffled deadlines, so the number is dominated by heap
-//               push/pop and not by callback work.
+//               shuffled deadlines, so the number is dominated by the
+//               ordering structure and not by callback work.
+//   timer …/sec heartbeat-shaped load: thousands of self-rescheduling
+//               periodic chains (the event class PR 8's profiling showed
+//               dominates netsim scenarios).
+//   frame …/sec netsim-frame-shaped load: same-timestamp bursts, the
+//               batch-dispatch case.
 //   runs/sec    full run_one() over a registry scenario (netsim-failover:
 //               one simulated day plus pretraining, heartbeats and the
 //               wake fabric in the loop) — the unit the BatchRunner and
@@ -68,6 +73,64 @@ double event_phase(std::size_t count) {
   return seconds_since(start);
 }
 
+/// Heartbeat-like load: `timers` self-rescheduling periodic events with
+/// staggered phases, run for `count` total dispatches.  This is the
+/// profile PR 8 measured as dominant on netsim-failover (heartbeat +
+/// hrtimer events, ~80% of the simulated day): a steady sliding window
+/// of near-future deadlines — the timing wheel's home turf, and the
+/// binary heap's worst case short of random scatter.
+double timer_phase(std::size_t count, std::size_t timers) {
+  drowsy::sim::EventQueue queue;
+  volatile std::size_t sink = 0;
+  std::size_t remaining = count;
+  const auto start = Clock::now();
+  // One self-rescheduling chain per timer; each fires every ~1 s of sim
+  // time with a deterministic per-timer phase offset.
+  struct Beat {
+    drowsy::sim::EventQueue* q;
+    volatile std::size_t* sink;
+    std::size_t* remaining;
+    drowsy::util::SimTime period;
+    void operator()() const {
+      *sink = *sink + 1;
+      if (*remaining == 0) return;
+      --*remaining;
+      q->schedule_after(period, Beat{*this}, drowsy::obs::EventTag::Heartbeat);
+    }
+  };
+  for (std::size_t t = 0; t < timers && remaining > 0; ++t) {
+    --remaining;
+    const auto phase = static_cast<drowsy::util::SimTime>(t % 1000);
+    queue.schedule_after(phase, Beat{&queue, &sink, &remaining, 1000},
+                         drowsy::obs::EventTag::Heartbeat);
+  }
+  queue.run_all();
+  return seconds_since(start);
+}
+
+/// Netsim-frame burst load: frames arrive in same-timestamp clumps (a
+/// wake storm's switch egress), `burst` events per instant.  Measures
+/// same-timestamp batch dispatch — the queue should detach a whole
+/// clump at once instead of paying ordering cost per frame.
+double frame_phase(std::size_t count, std::size_t burst) {
+  drowsy::sim::EventQueue queue;
+  volatile std::size_t sink = 0;
+  const auto start = Clock::now();
+  std::size_t scheduled = 0;
+  while (scheduled < count) {
+    const std::size_t window = std::min<std::size_t>(64 * burst, count - scheduled);
+    for (std::size_t i = 0; i < window; ++i) {
+      // 64 distinct instants per window, `burst` frames on each.
+      const auto at = static_cast<drowsy::util::SimTime>(i / burst);
+      queue.schedule_after(at, [&sink] { sink = sink + 1; },
+                           drowsy::obs::EventTag::NetsimFrame);
+    }
+    queue.run_all();
+    scheduled += window;
+  }
+  return seconds_since(start);
+}
+
 /// Peak resident set in MiB (ru_maxrss is KiB on Linux).
 double peak_rss_mb() {
   rusage usage{};
@@ -107,6 +170,20 @@ int main(int argc, char** argv) {
       event_wall_s > 0.0 ? static_cast<double>(event_count) / event_wall_s : 0.0;
   std::printf("events: %zu in %.3f s  (%.0f events/s)\n", event_count, event_wall_s,
               events_per_sec);
+
+  // Workload-shaped phases (PR 8's profile: heartbeat/hrtimer timers and
+  // switch frame bursts dominate the simulated day).
+  const double timer_wall_s = timer_phase(event_count, /*timers=*/4096);
+  const double timer_events_per_sec =
+      timer_wall_s > 0.0 ? static_cast<double>(event_count) / timer_wall_s : 0.0;
+  std::printf("timers: %zu in %.3f s  (%.0f events/s, 4096 periodic chains)\n",
+              event_count, timer_wall_s, timer_events_per_sec);
+
+  const double frame_wall_s = frame_phase(event_count, /*burst=*/32);
+  const double frame_events_per_sec =
+      frame_wall_s > 0.0 ? static_cast<double>(event_count) / frame_wall_s : 0.0;
+  std::printf("frames: %zu in %.3f s  (%.0f events/s, bursts of 32)\n",
+              event_count, frame_wall_s, frame_events_per_sec);
 
   namespace sc = drowsy::scenario;
   const char* scenario_name = "netsim-failover";
@@ -154,6 +231,10 @@ int main(int argc, char** argv) {
     j.set("events", static_cast<std::uint64_t>(event_count));
     j.set("event_wall_s", event_wall_s);
     j.set("events_per_sec", events_per_sec);
+    // Workload-shaped queue phases (additive keys, PR 9): periodic-timer
+    // and same-timestamp-burst dispatch rates.
+    j.set("timer_events_per_sec", timer_events_per_sec);
+    j.set("frame_events_per_sec", frame_events_per_sec);
     j.set("scenario", scenario_name);
     j.set("runs", static_cast<std::uint64_t>(run_count));
     j.set("run_wall_s", run_wall_s);

@@ -4,7 +4,7 @@
 
 namespace drowsy::net {
 
-void ImmediateDispatcher::schedule_after(util::SimTime delay, std::function<void()> fn) {
+void ImmediateDispatcher::schedule_after(util::SimTime delay, util::InlineFn fn) {
   (void)delay;
   fn();
 }

@@ -16,23 +16,27 @@
 
 #include "net/addr.hpp"
 #include "obs/event_tag.hpp"
+#include "util/inline_fn.hpp"
 #include "util/sim_time.hpp"
 
 namespace drowsy::net {
 
 /// Deferred-execution interface the network uses to model latency.  The
 /// discrete-event simulator implements this; unit tests use an immediate
-/// executor.
+/// executor.  Callbacks travel as util::InlineFn (the event core's
+/// small-buffer payload type) so a frame delivery scheduled through this
+/// interface lands in the slab event record without a std::function
+/// allocation; lambdas convert implicitly.
 class Dispatcher {
  public:
   virtual ~Dispatcher() = default;
   /// Run `fn` after `delay` of simulated time.
-  virtual void schedule_after(util::SimTime delay, std::function<void()> fn) = 0;
+  virtual void schedule_after(util::SimTime delay, util::InlineFn fn) = 0;
   /// Tagged variant for event-core profiling (obs::EventTag attribution).
   /// Default drops the tag and forwards, so dispatchers that don't
   /// profile (ImmediateDispatcher) need no changes; sim::EventQueue and
   /// netsim::EventQueueDispatcher override it to carry the tag through.
-  virtual void schedule_after(util::SimTime delay, std::function<void()> fn,
+  virtual void schedule_after(util::SimTime delay, util::InlineFn fn,
                               obs::EventTag /*tag*/) {
     schedule_after(delay, std::move(fn));
   }
@@ -44,7 +48,7 @@ class Dispatcher {
 class ImmediateDispatcher final : public Dispatcher {
  public:
   using Dispatcher::schedule_after;  // keep the tagged overload visible
-  void schedule_after(util::SimTime delay, std::function<void()> fn) override;
+  void schedule_after(util::SimTime delay, util::InlineFn fn) override;
   [[nodiscard]] util::SimTime now() const override { return now_; }
   void set_now(util::SimTime t) { now_ = t; }
 

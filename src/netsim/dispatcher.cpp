@@ -5,11 +5,11 @@
 
 namespace drowsy::netsim {
 
-void EventQueueDispatcher::schedule_after(util::SimTime delay, std::function<void()> fn) {
+void EventQueueDispatcher::schedule_after(util::SimTime delay, util::InlineFn fn) {
   schedule_after(delay, std::move(fn), obs::EventTag::NetsimFrame);
 }
 
-void EventQueueDispatcher::schedule_after(util::SimTime delay, std::function<void()> fn,
+void EventQueueDispatcher::schedule_after(util::SimTime delay, util::InlineFn fn,
                                           obs::EventTag tag) {
   ++frames_;
   if (serialization_ <= 0) {

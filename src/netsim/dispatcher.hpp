@@ -37,8 +37,8 @@ class EventQueueDispatcher final : public net::Dispatcher {
   /// Untagged calls default to NetsimFrame — everything through this
   /// dispatcher is switch traffic; callers with better attribution
   /// (heartbeat probes) use the tagged overload.
-  void schedule_after(util::SimTime delay, std::function<void()> fn) override;
-  void schedule_after(util::SimTime delay, std::function<void()> fn,
+  void schedule_after(util::SimTime delay, util::InlineFn fn) override;
+  void schedule_after(util::SimTime delay, util::InlineFn fn,
                       obs::EventTag tag) override;
 
   [[nodiscard]] std::uint64_t frames() const { return frames_; }

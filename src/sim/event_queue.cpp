@@ -1,53 +1,55 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <chrono>
 
 #include "obs/event_profile.hpp"
 
 namespace drowsy::sim {
 
-void EventQueue::schedule_at(util::SimTime at, std::function<void()> fn,
-                             obs::EventTag tag) {
-  assert(at >= now_ && "cannot schedule in the past");
-  heap_.push(Event{at, next_seq_++, std::move(fn), tag});
-}
+namespace {
 
-void EventQueue::schedule_after(util::SimTime delay, std::function<void()> fn) {
-  assert(delay >= 0);
-  schedule_at(now_ + delay, std::move(fn));
-}
-
-void EventQueue::schedule_after(util::SimTime delay, std::function<void()> fn,
-                                obs::EventTag tag) {
-  assert(delay >= 0);
-  schedule_at(now_ + delay, std::move(fn), tag);
-}
-
-bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is the standard
-  // idiom-free workaround — copy the handler instead to stay well-defined.
-  Event ev = heap_.top();
-  heap_.pop();
-  now_ = ev.at;
-  ++executed_;
-  if (profile_ != nullptr) {
+/// Shared dispatch instrumentation: run `fn`, attributing wall time to
+/// `tag` when a profile is attached.  Identical between engines so the
+/// profiled tag counts (asserted equal by the differential oracle) come
+/// from one code path.
+void invoke_profiled(util::InlineFn& fn, obs::EventTag tag, obs::EventProfile* profile) {
+  if (profile != nullptr) {
     const auto t0 = std::chrono::steady_clock::now();
-    ev.fn();
+    fn();
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
-    profile_->record(ev.tag, static_cast<std::uint64_t>(ns));
+    profile->record(tag, static_cast<std::uint64_t>(ns));
   } else {
-    ev.fn();
+    fn();
   }
+}
+
+}  // namespace
+
+#ifdef DROWSY_REFERENCE_EVENT_CORE
+
+// ---- legacy binary-heap engine (differential baseline) ----------------------
+// The PR1–8 queue, verbatim up to the std::function -> InlineFn payload
+// swap (which cannot affect ordering).  Selected by
+// -DDROWSY_REFERENCE_EVENT_CORE=ON; CI diffs whole-sweep CSVs between
+// this engine and the slab/wheel engine byte for byte.
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), &EventQueue::later);
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = ev.at;
+  ++executed_;
+  invoke_profiled(ev.fn, ev.tag, profile_);
   return true;
 }
 
 void EventQueue::run_until(util::SimTime until) {
   assert(until >= now_);
-  while (!heap_.empty() && heap_.top().at <= until) step();
+  while (!heap_.empty() && heap_.front().at <= until) step();
   now_ = until;
 }
 
@@ -55,5 +57,84 @@ void EventQueue::run_all(std::size_t max_events) {
   std::size_t n = 0;
   while (n < max_events && step()) ++n;
 }
+
+EventQueue::CoreStats EventQueue::core_stats() const { return CoreStats{}; }
+
+#else
+
+// ---- slab + timing-wheel engine ---------------------------------------------
+
+std::uint32_t EventQueue::pop_next(util::SimTime bound) {
+  if (ready_head_ == kNoEvent) {
+    ready_head_ = wheel_.take_due_chain(bound);
+    if (ready_head_ == kNoEvent) return kNoEvent;
+    ++batches_;
+  } else if (slab_[ready_head_].at > bound) {
+    // A previous bounded run left a partially drained chain beyond this
+    // call's horizon (possible only via run_all's event budget).
+    return kNoEvent;
+  }
+  const std::uint32_t idx = ready_head_;
+  ready_head_ = slab_[idx].next;
+  return idx;
+}
+
+void EventQueue::dispatch(std::uint32_t idx) {
+  EventRecord& rec = slab_[idx];
+  now_ = rec.at;
+  const obs::EventTag tag = rec.tag;
+  // Move the payload out and recycle the slot *before* invoking: the
+  // handler may schedule (growing or reusing the slab) without touching
+  // the running callback.
+  util::InlineFn fn = std::move(rec.fn);
+  slab_.free(idx);
+  --pending_;
+  ++executed_;
+  invoke_profiled(fn, tag, profile_);
+}
+
+bool EventQueue::step() {
+  const std::uint32_t idx = pop_next(util::kNever);
+  if (idx == kNoEvent) return false;
+  dispatch(idx);
+  return true;
+}
+
+void EventQueue::run_until(util::SimTime until) {
+  assert(until >= now_);
+  // Re-pull after every dispatch so a handler scheduling at exactly
+  // `until` during the final step still runs before the clock pins.
+  for (;;) {
+    const std::uint32_t idx = pop_next(until);
+    if (idx == kNoEvent) break;
+    dispatch(idx);
+  }
+  now_ = until;
+}
+
+void EventQueue::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events) {
+    const std::uint32_t idx = pop_next(util::kNever);
+    if (idx == kNoEvent) break;
+    dispatch(idx);
+    ++n;
+  }
+}
+
+EventQueue::CoreStats EventQueue::core_stats() const {
+  const TimerWheel::Stats& w = wheel_.stats();
+  CoreStats s;
+  s.cascades = w.cascades;
+  s.re_anchors = w.re_anchors;
+  s.far_events = w.far_events;
+  s.far_refills = w.far_refills;
+  s.batches = batches_;
+  s.slab_slots = slab_.high_water();
+  s.slab_chunks = slab_.chunk_count();
+  return s;
+}
+
+#endif  // DROWSY_REFERENCE_EVENT_CORE
 
 }  // namespace drowsy::sim

@@ -4,23 +4,47 @@
 // number) executed in order.  Implements net::Dispatcher so the network
 // layer schedules frame deliveries on the same timeline.
 //
+// Engine (default): tagged slab events on a hierarchical timing wheel.
+// Each scheduled event becomes an EventRecord — small enum tag + a
+// payload union (util::InlineFn: inline capture buffer or heap pointer
+// for the rare oversized callback) — in chunked slab storage, filed into
+// a two-level timing wheel with a far-future heap behind it
+// (sim/timer_wheel.hpp).  Dispatch detaches one exact timestamp's chain
+// at a time, so bursts of same-instant events (wake storms, switch
+// egress batches) run without re-consulting the ordering structure per
+// event.  Semantics are bit-for-bit those of the original binary-heap
+// queue: strict (time, seq) order, FIFO within a timestamp, including
+// events scheduled during dispatch.
+//
+// Reference engine: building with -DDROWSY_REFERENCE_EVENT_CORE swaps in
+// the legacy binary-heap engine behind the same API.  CI runs whole
+// sweeps under both engines and diffs the run CSVs byte for byte; the
+// frozen original additionally lives in tests/sim/reference_queue.hpp as
+// the differential oracle for randomized schedules.
+//
 // Observability: every event carries an obs::EventTag (defaulting to
 // Other) and the queue accepts an optional obs::EventProfile.  While a
-// profile is attached, step() attributes each dispatched event's count
-// and handler wall-time to its tag — the measurement substrate for the
-// ROADMAP item-2 event-core rebuild.  With no profile attached the cost
-// is one pointer test per event, and tags never influence ordering, so
+// profile is attached, each dispatch attributes the event's count and
+// handler wall-time to its tag.  With no profile attached the cost is
+// one pointer test per event, and tags never influence ordering, so
 // profiled and unprofiled runs produce identical simulation output.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "net/sdn_switch.hpp"
 #include "obs/event_tag.hpp"
+#include "util/inline_fn.hpp"
 #include "util/sim_time.hpp"
+
+#ifndef DROWSY_REFERENCE_EVENT_CORE
+#include "sim/event_slab.hpp"
+#include "sim/timer_wheel.hpp"
+#endif
 
 namespace drowsy::obs {
 class EventProfile;
@@ -31,19 +55,57 @@ namespace drowsy::sim {
 /// The simulation clock and event loop.
 class EventQueue final : public net::Dispatcher {
  public:
-  explicit EventQueue(util::SimTime start = 0) : now_(start) {}
+  explicit EventQueue(util::SimTime start = 0)
+      : now_(start)
+#ifndef DROWSY_REFERENCE_EVENT_CORE
+        ,
+        wheel_(slab_, start)
+#endif
+  {
+  }
 
   /// Current simulated instant.
   [[nodiscard]] util::SimTime now() const override { return now_; }
 
-  /// Schedule `fn` at absolute time `at` (>= now).
-  void schedule_at(util::SimTime at, std::function<void()> fn,
-                   obs::EventTag tag = obs::EventTag::Other);
+  /// Schedule any callable at absolute time `at` (>= now).  The capture
+  /// state is emplaced straight into the event record — no intermediate
+  /// std::function, no allocation for captures up to
+  /// util::InlineFn::kInlineBytes.
+  template <typename F>
+  void schedule_at(util::SimTime at, F&& fn,
+                   obs::EventTag tag = obs::EventTag::Other) {
+    assert(at >= now_ && "cannot schedule in the past");
+#ifdef DROWSY_REFERENCE_EVENT_CORE
+    heap_.push_back(Event{at, next_seq_++, tag, util::InlineFn(std::forward<F>(fn))});
+    std::push_heap(heap_.begin(), heap_.end(), &EventQueue::later);
+#else
+    const std::uint32_t idx = slab_.alloc();
+    EventRecord& rec = slab_[idx];
+    rec.at = at;
+    rec.seq = next_seq_++;
+    rec.tag = tag;
+    rec.fn.emplace(std::forward<F>(fn));
+    wheel_.insert(idx);
+    ++pending_;
+#endif
+  }
 
-  /// Schedule `fn` after `delay` of simulated time (Dispatcher interface).
-  void schedule_after(util::SimTime delay, std::function<void()> fn) override;
-  void schedule_after(util::SimTime delay, std::function<void()> fn,
-                      obs::EventTag tag) override;
+  /// Schedule `fn` after `delay` of simulated time.
+  template <typename F>
+  void schedule_after(util::SimTime delay, F&& fn,
+                      obs::EventTag tag = obs::EventTag::Other) {
+    assert(delay >= 0);
+    schedule_at(now_ + delay, std::forward<F>(fn), tag);
+  }
+
+  /// Dispatcher interface (type-erased path used through net::Dispatcher&).
+  void schedule_after(util::SimTime delay, util::InlineFn fn) override {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+  void schedule_after(util::SimTime delay, util::InlineFn fn,
+                      obs::EventTag tag) override {
+    schedule_at(now_ + delay, std::move(fn), tag);
+  }
 
   /// Attach (or with nullptr, detach) a per-tag profile.  While attached,
   /// each step() records the event's tag and handler wall-time into it.
@@ -56,34 +118,71 @@ class EventQueue final : public net::Dispatcher {
   bool step();
 
   /// Run every event with time <= `until`, then advance the clock to
-  /// `until` (even if no event lands exactly there).
+  /// `until` (even if no event lands exactly there).  An event a handler
+  /// schedules at exactly `until` during the final step still dispatches
+  /// before the clock pins (regression-tested both engines).
   void run_until(util::SimTime until);
 
   /// Drain the whole queue (bounded by `max_events` as a runaway guard).
   void run_all(std::size_t max_events = SIZE_MAX);
 
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::size_t pending() const {
+#ifdef DROWSY_REFERENCE_EVENT_CORE
+    return heap_.size();
+#else
+    return pending_;
+#endif
+  }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Deterministic structural counters of the slab/wheel engine (zeros
+  /// under the reference engine).  Bench surfaces these; they never feed
+  /// back into simulation state.
+  struct CoreStats {
+    std::uint64_t cascades = 0;
+    std::uint64_t re_anchors = 0;
+    std::uint64_t far_events = 0;
+    std::uint64_t far_refills = 0;
+    std::uint64_t batches = 0;      ///< same-timestamp chains detached
+    std::uint64_t slab_slots = 0;   ///< slab high-water mark
+    std::uint64_t slab_chunks = 0;
+  };
+  [[nodiscard]] CoreStats core_stats() const;
+
  private:
+#ifdef DROWSY_REFERENCE_EVENT_CORE
   struct Event {
     util::SimTime at;
     std::uint64_t seq;
-    std::function<void()> fn;
     obs::EventTag tag;
+    util::InlineFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  static bool later(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+#else
+  /// Pop the next event index with deadline <= bound (kNoEvent if none),
+  /// pulling a fresh same-timestamp chain from the wheel when the current
+  /// one is drained.
+  [[nodiscard]] std::uint32_t pop_next(util::SimTime bound);
+  void dispatch(std::uint32_t idx);
+#endif
 
   util::SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   obs::EventProfile* profile_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+
+#ifdef DROWSY_REFERENCE_EVENT_CORE
+  std::vector<Event> heap_;  ///< std::push_heap/pop_heap on (at, seq)
+#else
+  EventSlab slab_;
+  TimerWheel wheel_;
+  std::uint32_t ready_head_ = kNoEvent;  ///< detached chain at one timestamp
+  std::size_t pending_ = 0;
+  std::uint64_t batches_ = 0;
+#endif
 };
 
 }  // namespace drowsy::sim

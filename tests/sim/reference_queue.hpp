@@ -1,0 +1,105 @@
+// The original binary-heap event queue, frozen as a differential oracle.
+//
+// This is the PR1-era sim::EventQueue (std::function payloads, one
+// std::priority_queue on (time, seq)) lifted out of src/ verbatim when
+// the slab + timing-wheel engine replaced it.  It is deliberately naive
+// and deliberately unchanged: the differential and fuzz suites feed the
+// same randomized schedule to this oracle and to the production queue
+// and require identical dispatch sequences, clocks, and counters.  Keep
+// it simple — every line here is part of the spec, not the optimization.
+//
+// Standalone by design: it does NOT inherit net::Dispatcher (whose
+// callback type migrated to util::InlineFn with the rebuild), so it can
+// never drift via interface changes to the production side.
+#pragma once
+
+#include <cassert>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "obs/event_profile.hpp"
+#include "obs/event_tag.hpp"
+#include "util/sim_time.hpp"
+
+namespace drowsy::testing {
+
+/// Oracle: callbacks keyed by (time, sequence number), executed in order.
+class ReferenceEventQueue {
+ public:
+  explicit ReferenceEventQueue(util::SimTime start = 0) : now_(start) {}
+
+  [[nodiscard]] util::SimTime now() const { return now_; }
+
+  void schedule_at(util::SimTime at, std::function<void()> fn,
+                   obs::EventTag tag = obs::EventTag::Other) {
+    assert(at >= now_ && "cannot schedule in the past");
+    heap_.push(Event{at, next_seq_++, std::move(fn), tag});
+  }
+
+  void schedule_after(util::SimTime delay, std::function<void()> fn,
+                      obs::EventTag tag = obs::EventTag::Other) {
+    assert(delay >= 0);
+    schedule_at(now_ + delay, std::move(fn), tag);
+  }
+
+  void set_profile(obs::EventProfile* profile) { profile_ = profile; }
+
+  bool step() {
+    if (heap_.empty()) return false;
+    Event ev = heap_.top();  // copy — keeps the oracle UB-free (top() is const)
+    heap_.pop();
+    now_ = ev.at;
+    ++executed_;
+    if (profile_ != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ev.fn();
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      profile_->record(ev.tag, static_cast<std::uint64_t>(ns));
+    } else {
+      ev.fn();
+    }
+    return true;
+  }
+
+  void run_until(util::SimTime until) {
+    assert(until >= now_);
+    while (!heap_.empty() && heap_.top().at <= until) step();
+    now_ = until;
+  }
+
+  void run_all(std::size_t max_events = SIZE_MAX) {
+    std::size_t n = 0;
+    while (n < max_events && step()) ++n;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    util::SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    obs::EventTag tag;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  obs::EventProfile* profile_ = nullptr;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace drowsy::testing

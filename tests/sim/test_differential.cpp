@@ -1,0 +1,225 @@
+// Differential oracle for the event-core rebuild.
+//
+// The slab + timing-wheel engine replaced the binary-heap queue on the
+// promise of *identical* semantics: strict (time, seq) dispatch order,
+// FIFO within a timestamp, run_until pinning, budgeted run_all.  This
+// suite checks the promise mechanically — the same randomized schedule is
+// driven through the production sim::EventQueue and through the frozen
+// original (tests/sim/reference_queue.hpp), and every observable must
+// match: the full dispatch log (event id, dispatch time), now(),
+// pending(), executed() after every operation, and the per-tag profile
+// counts at the end.
+//
+// Schedules are generated online from a seeded RNG and include the cases
+// the wheel could plausibly get wrong: equal-timestamp bursts, events
+// scheduled from inside handlers (including at the handler's own
+// timestamp and at exactly a run_until boundary), delays that land in the
+// L0 window, the L1 blocks, and the far-future heap, and budgeted
+// run_all stops that leave a chain half-drained.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "obs/event_profile.hpp"
+#include "obs/event_tag.hpp"
+#include "sim/event_queue.hpp"
+#include "reference_queue.hpp"
+#include "util/sim_time.hpp"
+
+namespace s = drowsy::sim;
+namespace u = drowsy::util;
+namespace obs = drowsy::obs;
+
+namespace {
+
+/// Dispatch log entry: which event ran, and at what simulated instant.
+using LogEntry = std::pair<std::uint64_t, u::SimTime>;
+
+std::uint64_t mix(std::uint64_t x) {
+  // splitmix64 finalizer — per-event behavior derives from mix(seed ^ id)
+  // so it depends only on the event's identity, never on dispatch order.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+obs::EventTag tag_of(std::uint64_t h) {
+  return static_cast<obs::EventTag>(h % obs::kEventTagCount);
+}
+
+/// Child delays by hash bucket: same-instant, L0-window, L1-block, and
+/// far-heap (> 2^20 ms) territory all represented.
+u::SimTime child_delay(std::uint64_t h) {
+  switch (h % 8) {
+    case 0: return 0;  // same timestamp as the running handler
+    case 1: return 1;
+    case 2: return 7;
+    case 3: return 100;
+    case 4: return 1000;            // typically crosses the L0 window
+    case 5: return 60'000;          // L1 block
+    case 6: return 300'000;         // deeper L1
+    default: return 2'000'000;      // beyond kSpan1: far-future heap
+  }
+}
+
+/// Schedule event `id` at `at` on queue `q`, logging to `log`.  On
+/// dispatch the handler deterministically (from mix(seed ^ id)) spawns
+/// 0–2 children, so schedule-during-dispatch paths are exercised on both
+/// queues identically.
+template <typename Q>
+void schedule_node(Q& q, std::vector<LogEntry>& log, std::uint64_t seed,
+                   std::uint64_t id, int depth, u::SimTime at) {
+  const std::uint64_t h = mix(seed ^ id);
+  q.schedule_at(at,
+                [&q, &log, seed, id, depth] {
+                  log.emplace_back(id, q.now());
+                  if (depth >= 3) return;
+                  const std::uint64_t hh = mix(seed ^ id);
+                  const int kids = static_cast<int>((hh >> 8) % 3);
+                  for (int k = 0; k < kids; ++k) {
+                    const std::uint64_t cid = mix(id + 0x1000 + static_cast<std::uint64_t>(k));
+                    const std::uint64_t ch = mix(seed ^ cid);
+                    schedule_node(q, log, seed, cid, depth + 1,
+                                  q.now() + child_delay(ch >> 16));
+                  }
+                },
+                tag_of(h));
+}
+
+/// Drive both queues through the same seeded op sequence, asserting the
+/// observables agree after every op and the dispatch logs match exactly.
+void run_differential(std::uint64_t seed, int n_ops) {
+  s::EventQueue qn;
+  drowsy::testing::ReferenceEventQueue qr;
+  obs::EventProfile pn;
+  obs::EventProfile pr;
+  qn.set_profile(&pn);
+  qr.set_profile(&pr);
+  std::vector<LogEntry> ln;
+  std::vector<LogEntry> lr;
+
+  std::mt19937_64 rng(seed);
+  std::uint64_t next_root = 1;
+
+  for (int i = 0; i < n_ops; ++i) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed << " op " << i);
+    switch (rng() % 10) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // one root event at a near/far offset
+        const u::SimTime at = qn.now() + static_cast<u::SimTime>(rng() % 500'000);
+        const std::uint64_t id = next_root++ << 20;
+        schedule_node(qn, ln, seed, id, 0, at);
+        schedule_node(qr, lr, seed, id, 0, at);
+        break;
+      }
+      case 4: {  // equal-timestamp burst
+        const u::SimTime at = qn.now() + static_cast<u::SimTime>(rng() % 2'000);
+        for (int b = 0; b < 5; ++b) {
+          const std::uint64_t id = next_root++ << 20;
+          schedule_node(qn, ln, seed, id, 0, at);
+          schedule_node(qr, lr, seed, id, 0, at);
+        }
+        break;
+      }
+      case 5:
+      case 6: {  // bounded run — boundary may coincide with an event time
+        const u::SimTime until = qn.now() + static_cast<u::SimTime>(rng() % 100'000);
+        qn.run_until(until);
+        qr.run_until(until);
+        break;
+      }
+      case 7: {  // single step
+        const bool sn = qn.step();
+        const bool sr = qr.step();
+        ASSERT_EQ(sn, sr);
+        break;
+      }
+      case 8: {  // budgeted drain — can park mid-chain
+        const std::size_t budget = rng() % 16;
+        qn.run_all(budget);
+        qr.run_all(budget);
+        break;
+      }
+      default: {  // far-future root (exercises heap tier + re-anchor)
+        const u::SimTime at =
+            qn.now() + 1'500'000 + static_cast<u::SimTime>(rng() % 8'000'000);
+        const std::uint64_t id = next_root++ << 20;
+        schedule_node(qn, ln, seed, id, 0, at);
+        schedule_node(qr, lr, seed, id, 0, at);
+        break;
+      }
+    }
+    ASSERT_EQ(qn.now(), qr.now());
+    ASSERT_EQ(qn.pending(), qr.pending());
+    ASSERT_EQ(qn.executed(), qr.executed());
+    ASSERT_EQ(ln.size(), lr.size());
+  }
+
+  qn.run_all();
+  qr.run_all();
+  ASSERT_EQ(qn.now(), qr.now()) << "seed " << seed;
+  ASSERT_EQ(qn.pending(), 0u);
+  ASSERT_EQ(qr.pending(), 0u);
+  ASSERT_EQ(qn.executed(), qr.executed()) << "seed " << seed;
+  ASSERT_EQ(ln, lr) << "dispatch sequences diverged, seed " << seed;
+  for (obs::EventTag tag : obs::all_event_tags()) {
+    EXPECT_EQ(pn.events(tag), pr.events(tag))
+        << "tag " << obs::to_string(tag) << ", seed " << seed;
+  }
+  EXPECT_EQ(pn.total_events(), qn.executed());
+  qn.set_profile(nullptr);
+  qr.set_profile(nullptr);
+}
+
+}  // namespace
+
+TEST(EventQueueDifferential, RandomSchedulesMatchOracle) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    run_differential(seed, 120);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(EventQueueDifferential, LongRandomScheduleMatchesOracle) {
+  // One deep run: more ops means more wheel cascades, far-heap refills,
+  // and re-anchors inside a single queue lifetime.
+  run_differential(0xD0D0'CACA'0001ULL, 600);
+}
+
+TEST(EventQueueDifferential, ScheduleAtExactRunUntilBoundary) {
+  // A handler dispatched during run_until(T) schedules a new event at
+  // exactly T.  Both engines must dispatch it before the clock pins —
+  // the regression this PR's run_until re-pull exists for.
+  s::EventQueue qn;
+  drowsy::testing::ReferenceEventQueue qr;
+  std::vector<LogEntry> ln;
+  std::vector<LogEntry> lr;
+  const u::SimTime until = u::seconds(10);
+  auto plant = [until](auto& q, std::vector<LogEntry>& log) {
+    q.schedule_at(u::seconds(10) - 1, [&q, &log, until] {
+      log.emplace_back(1, q.now());
+      q.schedule_at(until, [&q, &log] { log.emplace_back(2, q.now()); });
+      q.schedule_at(until + 1, [&q, &log] { log.emplace_back(3, q.now()); });
+    });
+  };
+  plant(qn, ln);
+  plant(qr, lr);
+  qn.run_until(until);
+  qr.run_until(until);
+  ASSERT_EQ(ln, lr);
+  ASSERT_EQ(ln, (std::vector<LogEntry>{{1, until - 1}, {2, until}}));
+  EXPECT_EQ(qn.now(), until);
+  EXPECT_EQ(qn.pending(), 1u);
+  EXPECT_EQ(qr.pending(), 1u);
+  qn.run_all();
+  qr.run_all();
+  ASSERT_EQ(ln, lr);
+  EXPECT_EQ(ln.back(), (LogEntry{3, until + 1}));
+}
