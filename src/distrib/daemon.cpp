@@ -1,13 +1,15 @@
 #include "distrib/daemon.hpp"
 
-#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <set>
 #include <thread>
 
+#include "distrib/fault.hpp"
+#include "distrib/reaper.hpp"
 #include "distrib/shard_runner.hpp"
 #include "expctl/spec_io.hpp"
 #include "obs/snapshot.hpp"
@@ -53,6 +55,13 @@ struct Queue {
   obs::WorkerSnapshot snap;
   std::mutex snap_mutex;
 
+  // Leases this worker currently holds, keyed by lease-file path.  ALL
+  // of them are renewed on every heartbeat flush — a leftover claim
+  // queued behind a long task must not expire while its owner is alive
+  // and merely busy.  Guarded by snap_mutex (renewal happens inside
+  // flush_metrics_locked).
+  std::map<std::string, Lease> leases;
+
   explicit Queue(const DaemonOptions& opts) : options(opts), root(opts.queue_dir) {
     if (!fs::is_directory(root)) {
       throw DistribError("queue directory " + root.string() + " does not exist");
@@ -87,11 +96,55 @@ struct Queue {
       DROWSY_LOG_WARN("daemon", "cannot write metrics snapshot %s: %s",
                       metrics_file.string().c_str(), e.what());
     }
+    // Renew every held lease alongside the heartbeat: the lease file's
+    // mtime is the renewal instant the reaper compares against.  Like
+    // the snapshot, renewal is advisory — a transiently unwritable
+    // claimed/ directory must not kill the daemon (at worst the claim
+    // gets reaped and re-converges via the journal).
+    for (auto& [path, lease] : leases) {
+      lease.renewed_unix_ms = snap.updated_unix_ms;
+      try {
+        write_lease_file(path, lease);
+      } catch (const std::exception& e) {
+        DROWSY_LOG_WARN("daemon", "cannot renew lease %s: %s", path.c_str(),
+                        e.what());
+      }
+    }
   }
 
   void flush_metrics() {
     const std::lock_guard<std::mutex> lock(snap_mutex);
     flush_metrics_locked();
+  }
+
+  /// Grant (or re-grant, on crash resume) the lease for a claimed
+  /// manifest and start renewing it with every heartbeat.
+  void grant_lease(const fs::path& manifest_path) {
+    Lease lease;
+    lease.worker_id = options.worker_id;
+    lease.manifest = manifest_path.filename().string();
+    lease.granted_unix_ms = obs::wall_clock_unix_ms();
+    lease.renewed_unix_ms = lease.granted_unix_ms;
+    lease.ttl_s = options.lease_ttl_s;
+    const std::string path = lease_path_for(manifest_path.string());
+    try {
+      write_lease_file(path, lease);
+    } catch (const std::exception& e) {
+      DROWSY_LOG_WARN("daemon", "cannot grant lease %s: %s", path.c_str(), e.what());
+    }
+    const std::lock_guard<std::mutex> lock(snap_mutex);
+    leases.emplace(path, std::move(lease));
+  }
+
+  /// Drop the lease of a manifest leaving claimed/ (archived or failed).
+  void release_lease(const fs::path& manifest_path) {
+    const std::string path = lease_path_for(manifest_path.string());
+    {
+      const std::lock_guard<std::mutex> lock(snap_mutex);
+      leases.erase(path);
+    }
+    std::error_code ignored;
+    fs::remove(path, ignored);
   }
 
   [[nodiscard]] bool stop_requested() const { return fs::exists(root / "STOP"); }
@@ -126,6 +179,49 @@ struct Queue {
                        local.string() + " and the recorded path)");
   }
 
+  /// Adopt a reaper-published journal snapshot: a re-enqueued manifest
+  /// may arrive with <queue>/<stem>.journal.jsonl beside it, holding the
+  /// rows its dead previous owner already finished.  Move it into our
+  /// claimed/ directory so run_shard resumes instead of re-executing —
+  /// but only after proving every row belongs to this shard's key
+  /// multiset, because run_shard treats a foreign row as a hard error
+  /// and the task would be quarantined to failed/.  A snapshot that does
+  /// not fit (stale file from an earlier queue generation under the same
+  /// name) is deleted: leaving it would trip every future claim too.
+  void adopt_reaped_journal(const fs::path& manifest_path, const fs::path& journal,
+                            const ShardManifest& manifest,
+                            const std::vector<sc::BatchJob>& grid) {
+    const fs::path orphan = root / journal.filename();
+    std::error_code ec_exists;
+    if (fs::exists(journal, ec_exists) || !fs::exists(orphan, ec_exists)) return;
+    try {
+      const JournalContents contents = read_journal(orphan.string());
+      const std::vector<JobKey> grid_keys = job_keys(grid);
+      std::map<std::string, std::size_t> owned_slots;
+      for (const std::size_t i : manifest.job_indices) {
+        ++owned_slots[grid_keys[i].encode()];
+      }
+      std::map<std::string, std::size_t> seen;
+      for (const JournalEntry& entry : contents.entries) {
+        const std::string key = entry.key.encode();
+        const auto it = owned_slots.find(key);
+        if (it == owned_slots.end() || ++seen[key] > it->second) {
+          throw DistribError("row for " + key + " does not fit shard " +
+                             std::to_string(manifest.shard_index));
+        }
+      }
+      fs::rename(orphan, journal);
+      DROWSY_CRASH_POINT("daemon.after_adopt");
+      emit(options, "adopted journal for " + manifest_path.filename().string() +
+                        " (" + std::to_string(contents.entries.size()) + " rows)");
+    } catch (const std::exception& e) {
+      DROWSY_LOG_WARN("daemon", "discarding foreign journal snapshot %s: %s",
+                      orphan.string().c_str(), e.what());
+      std::error_code ignored;
+      fs::remove(orphan, ignored);
+    }
+  }
+
   /// Execute one claimed manifest to completion and archive it.  Returns
   /// true on success; on failure the task lands in failed/ with its
   /// diagnosis and false is returned.  Only queue-unusable conditions
@@ -141,6 +237,7 @@ struct Queue {
           ec::sweep_from_json(ec::Json::parse(sweep_bytes), sc::ScenarioRegistry::builtin());
       const std::vector<sc::BatchJob> grid = ec::expand(sweep);
       validate_manifest(manifest, sweep_bytes, grid.size());
+      adopt_reaped_journal(manifest_path, journal, manifest, grid);
       // The profile probe folds each run's event-core profile into the
       // snapshot; the on_row hook flushes it after every journal append,
       // so the heartbeat keeps beating through a single long task.
@@ -156,8 +253,11 @@ struct Queue {
             ++snap.journal_rows;
             flush_metrics_locked();
           });
+      DROWSY_CRASH_POINT("daemon.before_archive");
       move_into(journal, done);
+      DROWSY_CRASH_POINT("daemon.mid_archive");
       move_into(manifest_path, done);
+      release_lease(manifest_path);
       {
         const std::lock_guard<std::mutex> lock(snap_mutex);
         ++snap.tasks_done;
@@ -176,6 +276,7 @@ struct Queue {
         fs::rename(journal, failed / journal.filename(), ec_ignored);
       }
       fs::rename(manifest_path, failed / manifest_path.filename(), ec_ignored);
+      release_lease(manifest_path);
       const fs::path note = failed / (manifest_path.stem().string() + ".error.txt");
       static_cast<void>(sc::write_file(note.string(), std::string(e.what()) + "\n"));
       {
@@ -198,14 +299,22 @@ DaemonOutcome run_daemon(const DaemonOptions& options) {
 
   // Crash recovery: a previous daemon with this worker id may have died
   // owning tasks.  Finish them (the journal resume makes this converge)
-  // before competing for new work.
+  // before competing for new work.  Content-checked like pending(): the
+  // claimed/ directory also holds journals and lease files, which must
+  // never be mistaken for tasks (and quarantined to failed/).
   std::set<fs::path> leftovers;
   for (const fs::directory_entry& entry : fs::directory_iterator(queue.claimed)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".json") {
-      leftovers.insert(entry.path());
+    if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
+    try {
+      static_cast<void>(manifest_from_json(
+          ec::Json::parse(ec::read_file(entry.path().string()))));
+    } catch (const std::exception&) {
+      continue;  // a lease file, journal, or stray file — not a claim
     }
+    leftovers.insert(entry.path());
   }
   for (const fs::path& manifest : leftovers) {
+    queue.grant_lease(manifest);  // re-grant: the crash left a stale lease
     emit(options, "resuming claimed " + manifest.filename().string());
     queue.execute(manifest) ? ++outcome.completed : ++outcome.failed;
   }
@@ -223,10 +332,38 @@ DaemonOutcome run_daemon(const DaemonOptions& options) {
       std::error_code race;
       fs::rename(candidate, mine, race);
       if (race) continue;  // another daemon claimed it first
+      DROWSY_CRASH_POINT("daemon.after_claim");
+      queue.grant_lease(mine);
+      DROWSY_CRASH_POINT("daemon.after_lease");
       emit(options, "claimed " + candidate.filename().string());
       queue.execute(mine) ? ++outcome.completed : ++outcome.failed;
       worked = true;
       break;  // re-check STOP between tasks
+    }
+    // Opportunistic reaping: with nothing to claim, return any expired
+    // claims of *other* workers to the queue.  A successful reap counts
+    // as work — the re-enqueued task should be claimed before the idle
+    // timeout fires.
+    if (!worked && options.reap) {
+      ReapOptions reap_options;
+      reap_options.queue_dir = options.queue_dir;
+      reap_options.stale_after_s = options.reap_stale_after_s;
+      reap_options.reaper_id = options.worker_id;
+      reap_options.skip_worker = options.worker_id;
+      if (options.on_event) {
+        reap_options.on_event = [&options](const std::string& line) {
+          options.on_event("reap: " + line);
+        };
+      }
+      try {
+        const ReapOutcome reaped = reap_queue(reap_options);
+        if (reaped.reaped > 0) {
+          outcome.reaped += reaped.reaped;
+          worked = true;
+        }
+      } catch (const std::exception& e) {
+        DROWSY_LOG_WARN("daemon", "opportunistic reap failed: %s", e.what());
+      }
     }
     if (worked) {
       last_work = std::chrono::steady_clock::now();
@@ -242,57 +379,6 @@ DaemonOutcome run_daemon(const DaemonOptions& options) {
     queue.flush_metrics();  // idle heartbeat: the claim reaper reads this mtime
     std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
   }
-}
-
-std::vector<StaleClaim> find_stale_claims(const std::string& queue_dir,
-                                          double threshold_s) {
-  const fs::path root(queue_dir);
-  if (!fs::is_directory(root)) {
-    throw DistribError("queue directory " + root.string() + " does not exist");
-  }
-  std::vector<StaleClaim> stale;
-  const fs::path claimed = root / "claimed";
-  if (!fs::is_directory(claimed)) return stale;  // nothing ever claimed
-  const auto now = fs::file_time_type::clock::now();
-  for (const fs::directory_entry& worker : fs::directory_iterator(claimed)) {
-    if (!worker.is_directory()) continue;
-    const std::string worker_id = worker.path().filename().string();
-    // The worker's heartbeat: its metrics snapshot, rewritten every poll
-    // and every finished run.  When present, *its* age is the worker's
-    // "last seen" for every claim the worker holds — a claim manifest's
-    // own mtime dates from `shard plan` (rename preserves it) and keeps
-    // aging even while the owner is healthily grinding through the task.
-    std::error_code ec_beat;
-    const auto heartbeat =
-        fs::last_write_time(root / "metrics" / (worker_id + ".json"), ec_beat);
-    const bool has_heartbeat = !ec_beat;
-    const double heartbeat_age_s =
-        has_heartbeat ? std::chrono::duration<double>(now - heartbeat).count() : 0.0;
-    for (const fs::directory_entry& entry : fs::directory_iterator(worker.path())) {
-      if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
-      try {
-        static_cast<void>(
-            manifest_from_json(ec::Json::parse(ec::read_file(entry.path().string()))));
-      } catch (const std::exception&) {
-        continue;  // a journal or stray file, not a claim
-      }
-      double age_s = heartbeat_age_s;
-      if (!has_heartbeat) {
-        std::error_code ec_time;
-        const auto written = fs::last_write_time(entry.path(), ec_time);
-        if (ec_time) continue;  // raced with the owner archiving it
-        age_s = std::chrono::duration<double>(now - written).count();
-      }
-      if (age_s >= threshold_s) {
-        stale.push_back({entry.path().string(), worker_id, age_s, has_heartbeat});
-      }
-    }
-  }
-  std::sort(stale.begin(), stale.end(),
-            [](const StaleClaim& a, const StaleClaim& b) {
-              return a.manifest_path < b.manifest_path;
-            });
-  return stale;
 }
 
 }  // namespace drowsy::distrib

@@ -40,6 +40,16 @@
 // restart with the same --worker-id, resumes it from the journal before
 // polling for new work.  A task that throws is moved to failed/ with the
 // error text beside it; the daemon keeps serving.
+//
+// Liveness: every claim carries a lease (lease.hpp) —
+// claimed/<worker>/<name>.lease.json, granted at claim time and renewed
+// with every heartbeat flush — and idle daemons opportunistically reap
+// other workers' expired claims back into the queue (reaper.hpp), so a
+// fleet survives any member's death without outside intervention.  A
+// re-enqueued manifest may arrive with a journal snapshot beside it
+// (<queue>/<name>.journal.jsonl, published by the reaper); the claiming
+// daemon adopts it so the dead worker's finished rows are resumed, not
+// re-executed.
 #pragma once
 
 #include <cstddef>
@@ -47,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "distrib/lease.hpp"
 #include "distrib/shard.hpp"
 
 namespace drowsy::distrib {
@@ -61,6 +72,17 @@ struct DaemonOptions {
   double max_idle_s = 60.0;  ///< exit after this long with no work; <= 0 waits
                              ///< for STOP alone
   unsigned poll_ms = 500;    ///< sleep between empty scans
+  /// TTL written into this worker's claim leases.  Renewed with every
+  /// heartbeat flush (each poll cycle and each journal row), so it only
+  /// needs to outlast the longest single simulation run plus scheduling
+  /// jitter — not the whole task.
+  double lease_ttl_s = 900.0;
+  /// Opportunistically reap other workers' expired claims while idle
+  /// (own claims are never reaped — they are this worker's backlog).
+  bool reap = true;
+  /// Reap threshold for lease-less claims (pre-lease daemons, hand-parked
+  /// manifests); leased claims expire strictly by their own TTL.
+  double reap_stale_after_s = 900.0;
   /// Optional progress sink (one line per claim/finish/failure); the
   /// daemon itself never writes to stdout.  Called from the daemon's
   /// thread only.
@@ -76,37 +98,14 @@ enum class DaemonExit {
 struct DaemonOutcome {
   std::size_t completed = 0;  ///< tasks moved to done/ (incl. crash-resumed)
   std::size_t failed = 0;     ///< tasks moved to failed/
+  std::size_t reaped = 0;     ///< other workers' claims this daemon re-enqueued
   DaemonExit exit = DaemonExit::Idle;
 };
 
-/// A manifest sitting in some worker's claimed/ directory longer than
-/// the caller's threshold — the signature of a worker that died mid-task
-/// and never came back (the claim parks its shard until a daemon with
-/// the same worker id resumes it).
-struct StaleClaim {
-  std::string manifest_path;  ///< <queue>/claimed/<worker>/<name>.json
-  std::string worker_id;
-  double age_s = 0.0;  ///< since the worker was last seen (see from_snapshot)
-  /// true when age_s comes from the worker's metrics snapshot mtime (its
-  /// heartbeat); false when it falls back to the manifest file's mtime.
-  bool from_snapshot = false;
-};
-
-/// Scan <queue>/claimed/*/ for manifests whose worker has not been seen
-/// for `threshold_s` seconds, in path order.  Only files that parse as
-/// shard manifests count (journals and stray files are ignored, like the
-/// daemon's own pending scan).  "Last seen" prefers the worker's metrics
-/// snapshot (<queue>/metrics/<worker>.json — rewritten every poll and
-/// every finished run, so a worker grinding through one long task keeps
-/// its claims fresh); without a snapshot it falls back to the claim
-/// manifest's own mtime, which dates from `shard plan` and ages even
-/// while the owner works.  A queue without a claimed/ directory has no
-/// claims; a missing queue root throws DistribError.  Read-only: the
-/// first step toward a stale-claim reaper — surfacing the parked work is
-/// safe, re-enqueueing it automatically is not (the owner may still be
-/// alive).
-[[nodiscard]] std::vector<StaleClaim> find_stale_claims(const std::string& queue_dir,
-                                                        double threshold_s);
+/// Historical name for a claim surfaced by find_stale_claims()
+/// (lease.hpp), kept for existing callers: the lease subsystem's
+/// ClaimInfo is a strict superset of the old StaleClaim shape.
+using StaleClaim = ClaimInfo;
 
 /// Serve the queue until STOP or idle timeout; see the file comment for
 /// the protocol.  Throws DistribError only for an unusable queue (missing

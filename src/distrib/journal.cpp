@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "distrib/fault.hpp"
 #include "expctl/runs_io.hpp"
 #include "expctl/spec_io.hpp"
 
@@ -168,10 +169,20 @@ JournalWriter::~JournalWriter() {
 
 void JournalWriter::append(const JournalEntry& entry) {
   const std::string line = to_json(entry).dump(0) + "\n";
+  // journal.torn_append stages its own damage before dying: half the row
+  // reaches the file (flushed, so the bytes really land) and the process
+  // is gone — the exact on-disk state of a worker killed mid-write(2).
+  // A plain crash point could only die before or after the whole append.
+  if (fault::triggered("journal.torn_append")) {
+    static_cast<void>(std::fwrite(line.data(), 1, line.size() / 2, file_));
+    static_cast<void>(std::fflush(file_));
+    fault::die("journal.torn_append");
+  }
   const std::size_t written = std::fwrite(line.data(), 1, line.size(), file_);
   if (written != line.size() || std::fflush(file_) != 0) {
     throw DistribError("short write to journal " + path_);
   }
+  DROWSY_CRASH_POINT("journal.after_append");
 }
 
 }  // namespace drowsy::distrib

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "distrib/merge.hpp"
+#include "distrib/reaper.hpp"
 #include "expctl/runs_io.hpp"
 #include "expctl/spec_io.hpp"
 #include "obs/snapshot.hpp"
@@ -280,4 +281,122 @@ TEST_F(DaemonFixture, DaemonPublishesAMetricsSnapshot) {
   EXPECT_GT(snap.profile.total_events(), 0u);
   // Every executed task materialized at least one workload trace.
   EXPECT_GT(snap.trace_cache_misses, 0u);
+}
+
+TEST_F(DaemonFixture, DaemonGrantsRenewsAndReleasesLeases) {
+  const fs::path root = make_queue("lease", 1);
+  dt::DaemonOptions opts = options(root, "w1");
+  opts.lease_ttl_s = 123.0;
+
+  // At the "claimed" event the lease file must already exist — the grant
+  // happens before the task is announced, so no observable claim is ever
+  // lease-less.
+  bool lease_seen_at_claim = false;
+  dt::Lease observed;
+  opts.on_event = [&](const std::string& line) {
+    if (line.rfind("claimed", 0) != 0) return;
+    const std::string lease_path =
+        dt::lease_path_for((root / "claimed" / "w1" / "shard_0.json").string());
+    if (fs::exists(lease_path)) {
+      lease_seen_at_claim = true;
+      observed = dt::read_lease_file(lease_path);
+    }
+  };
+
+  const dt::DaemonOutcome outcome = dt::run_daemon(opts);
+  EXPECT_EQ(outcome.completed, 1u);
+  ASSERT_TRUE(lease_seen_at_claim);
+  EXPECT_EQ(observed.worker_id, "w1");
+  EXPECT_EQ(observed.manifest, "shard_0.json");
+  EXPECT_EQ(observed.ttl_s, 123.0);
+  EXPECT_GE(observed.renewed_unix_ms, observed.granted_unix_ms);
+  // Released with the archive: the claim directory holds nothing back.
+  EXPECT_TRUE(fs::is_empty(root / "claimed" / "w1"));
+  EXPECT_TRUE(dt::list_claims(root.string()).empty());
+}
+
+TEST_F(DaemonFixture, LeaseFilesAreNotMistakenForTasks) {
+  // Regression: the leftover scan and the stale scan both walk
+  // claimed/<worker>/*.json — a lease file must never be executed as (or
+  // quarantined as) a task.
+  const fs::path root = make_queue("leasefile", 1);
+  const fs::path claimed = root / "claimed" / "w1";
+  fs::create_directories(claimed);
+  fs::rename(root / "shard_0.json", claimed / "shard_0.json");
+  dt::Lease lease;
+  lease.worker_id = "w1";
+  lease.manifest = "shard_0.json";
+  lease.granted_unix_ms = 1;
+  lease.renewed_unix_ms = 1;
+  lease.ttl_s = 900.0;
+  dt::write_lease_file(dt::lease_path_for((claimed / "shard_0.json").string()),
+                       lease);
+
+  const dt::DaemonOutcome outcome = dt::run_daemon(options(root, "w1"));
+  EXPECT_EQ(outcome.completed, 1u);
+  EXPECT_EQ(outcome.failed, 0u) << "lease file must not be quarantined";
+  EXPECT_TRUE(fs::exists(root / "done" / "shard_0.json"));
+  EXPECT_FALSE(fs::exists(root / "failed" / "shard_0.lease.json"));
+  // And find_stale_claims reports exactly one claim for the pair, not two.
+  fs::create_directories(root / "claimed" / "w2");
+  fs::copy_file(root / "done" / "shard_0.json",
+                root / "claimed" / "w2" / "shard_0.json");
+  fs::last_write_time(root / "claimed" / "w2" / "shard_0.json",
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+  lease.worker_id = "w2";
+  dt::write_lease_file(
+      dt::lease_path_for((root / "claimed" / "w2" / "shard_0.json").string()),
+      lease);
+  fs::last_write_time(root / "claimed" / "w2" / "shard_0.lease.json",
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+  const auto stale = dt::find_stale_claims(root.string(), 3600.0);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_TRUE(stale[0].has_lease);
+}
+
+TEST_F(DaemonFixture, IdleDaemonReapsAJournallessClaimAndReExecutesIt) {
+  // A worker that died between claim and first journal row: the reap
+  // preserves zero rows and the re-execution runs the shard from
+  // scratch — still exactly once, still byte-identical.
+  const fs::path root = make_queue("idlereap", 1);
+  const fs::path claimed = root / "claimed" / "deadworker";
+  fs::create_directories(claimed);
+  fs::rename(root / "shard_0.json", claimed / "shard_0.json");
+  fs::last_write_time(claimed / "shard_0.json",
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+
+  dt::DaemonOptions opts = options(root, "w2");
+  opts.reap_stale_after_s = 3600.0;
+  const dt::DaemonOutcome outcome = dt::run_daemon(opts);
+  EXPECT_EQ(outcome.reaped, 1u);
+  EXPECT_EQ(outcome.completed, 1u);
+  EXPECT_EQ(outcome.failed, 0u);
+
+  const dt::JournalContents done =
+      dt::read_journal((root / "done" / "shard_0.journal.jsonl").string());
+  ASSERT_EQ(done.entries.size(), grid().size());
+  const auto merged = dt::merge_journals(grid(), done.entries);
+  EXPECT_EQ(sc::to_csv(merged), sc::to_csv(reference()));
+
+  const auto reaps = dt::read_reap_journal(root.string());
+  ASSERT_EQ(reaps.size(), 1u);
+  EXPECT_EQ(reaps[0].worker_id, "deadworker");
+  EXPECT_EQ(reaps[0].rows_preserved, 0u);
+}
+
+TEST_F(DaemonFixture, ReapingCanBeDisabled) {
+  const fs::path root = make_queue("noreap", 1);
+  const fs::path claimed = root / "claimed" / "deadworker";
+  fs::create_directories(claimed);
+  fs::rename(root / "shard_0.json", claimed / "shard_0.json");
+  fs::last_write_time(claimed / "shard_0.json",
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+
+  dt::DaemonOptions opts = options(root, "w2");
+  opts.reap = false;
+  opts.reap_stale_after_s = 3600.0;
+  const dt::DaemonOutcome outcome = dt::run_daemon(opts);
+  EXPECT_EQ(outcome.reaped, 0u);
+  EXPECT_EQ(outcome.completed, 0u);
+  EXPECT_TRUE(fs::exists(claimed / "shard_0.json")) << "claim left untouched";
 }

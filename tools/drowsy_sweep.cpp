@@ -53,11 +53,30 @@
 //       same report as one JSON document (stale claims and workers
 //       included) for reapers and dashboards; exit codes are unchanged.
 //   drowsy_sweep shard daemon <queue-dir> [--worker-id W] [--threads N]
-//                    [--poll-ms P] [--max-idle-s S]
+//                    [--poll-ms P] [--max-idle-s S] [--lease-ttl-s S]
+//                    [--no-reap]
 //       Long-running worker: claim manifests from the queue directory
 //       (atomic rename; safe with many daemons on a shared filesystem),
 //       execute each through the crash-safe journal path, archive to
 //       done/ or failed/, and poll until a STOP sentinel or idleness.
+//       Every claim carries a lease renewed with the heartbeat; while
+//       idle the daemon reaps other workers' expired claims back into
+//       the queue (disable with --no-reap).
+//   drowsy_sweep shard reap <queue-dir> [--stale-after-s S] [--dry-run]
+//                    [--reaper-id R]
+//       Return dead workers' claims to the queue: every claim whose
+//       lease has expired (or, lease-less, whose owner has been silent
+//       for --stale-after-s) is atomically re-enqueued, its journal's
+//       valid prefix published beside it for the next owner to resume.
+//       Each reap is appended to <queue>/reaped/reap.journal.jsonl.
+//
+// Fault injection (chaos testing; see docs/sweeps.md):
+//
+//   drowsy_sweep fault list
+//       The crash-point catalogue.  Arm one with
+//       DROWSY_CRASH_AT=<point>[:<nth>] — the process _exit()s with
+//       code 86 the nth time execution reaches the point.  Compiled out
+//       of Release builds (arming then fails loudly).
 //
 // Paper-figure studies (src/study; see docs/studies.md):
 //
@@ -94,7 +113,9 @@
 
 #include "distrib/cost_model.hpp"
 #include "distrib/daemon.hpp"
+#include "distrib/fault.hpp"
 #include "distrib/merge.hpp"
+#include "distrib/reaper.hpp"
 #include "distrib/shard.hpp"
 #include "distrib/shard_runner.hpp"
 #include "expctl/report.hpp"
@@ -131,7 +152,10 @@ void print_usage(std::FILE* out, const char* argv0) {
                "       %s shard status <sweep.json> --journal F... [--queue-dir D]"
                " [--stale-after-s S] [--json]\n"
                "       %s shard daemon <queue-dir> [--worker-id W] [--threads N]"
-               " [--poll-ms P] [--max-idle-s S]\n"
+               " [--poll-ms P] [--max-idle-s S] [--lease-ttl-s S] [--no-reap]\n"
+               "       %s shard reap <queue-dir> [--stale-after-s S] [--dry-run]"
+               " [--reaper-id R]\n"
+               "       %s fault list\n"
                "       %s study list\n"
                "       %s study run <study> [--set k=v ...] [--threads N] [--out F]"
                " [--runs-csv F]\n"
@@ -139,7 +163,7 @@ void print_usage(std::FILE* out, const char* argv0) {
                "       %s study reduce <study> [--set k=v ...] --journal F... [--out F]\n"
                "see docs/drowsy_sweep.md for the full reference\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
 }
 
 int usage(const char* argv0) {
@@ -634,13 +658,26 @@ int cmd_shard_status(int argc, char** argv) {
   // id returns; surface them so the operator can restart or re-enqueue
   // (the first step toward an automatic reaper).
   std::vector<dt::StaleClaim> stale;
+  // Every claim in flight, with its lease evidence — the stale list is
+  // this filtered by expiry, but dashboards want the healthy ones too
+  // (how much lease headroom does the fleet have?).
+  std::vector<dt::ClaimInfo> claims;
+  // The reap history: how many times this queue recovered a dead
+  // worker's claim (reaped/reap.journal.jsonl).
+  std::vector<dt::ReapRecord> reaps;
   // The fleet view: every worker's metrics snapshot under
   // <queue>/metrics/, in worker-id order.  Unreadable or torn files are
   // skipped with a warning — status must report the fleet, not die on
   // one worker's bad flush.
   std::vector<drowsy::obs::WorkerSnapshot> workers;
   if (!opts.queue_dir.empty()) {
+    claims = dt::list_claims(opts.queue_dir);
     stale = dt::find_stale_claims(opts.queue_dir, opts.stale_after_s);
+    try {
+      reaps = dt::read_reap_journal(opts.queue_dir);
+    } catch (const std::exception& e) {
+      DROWSY_LOG_WARN("sweep", "cannot read reap journal: %s", e.what());
+    }
     const std::filesystem::path mdir = std::filesystem::path(opts.queue_dir) / "metrics";
     std::error_code ec_dir;
     if (std::filesystem::is_directory(mdir, ec_dir)) {
@@ -684,17 +721,28 @@ int cmd_shard_status(int argc, char** argv) {
       journals.push_back(std::move(row));
     }
     j.set("journals", std::move(journals));
-    ec::Json claims = ec::Json::array();
-    for (const dt::StaleClaim& claim : stale) {
+    // One serializer for both claim lists: the lease fields are always
+    // present (zeroed without a lease) so consumers can grep/parse a
+    // stable schema.
+    const auto claim_row = [&](const dt::ClaimInfo& claim) {
       ec::Json row = ec::Json::object();
       row.set("manifest", claim.manifest_path);
       row.set("worker_id", claim.worker_id);
       row.set("age_s", claim.age_s);
       row.set("from_snapshot", claim.from_snapshot);
+      row.set("has_lease", claim.has_lease);
+      row.set("lease_ttl_s", claim.lease_ttl_s);
+      row.set("lease_remaining_s", claim.lease_remaining_s);
       row.set("queue_dir", opts.queue_dir);
-      claims.push_back(std::move(row));
-    }
-    j.set("stale_claims", std::move(claims));
+      return row;
+    };
+    ec::Json all_claims = ec::Json::array();
+    for (const dt::ClaimInfo& claim : claims) all_claims.push_back(claim_row(claim));
+    j.set("claims", std::move(all_claims));
+    ec::Json stale_rows = ec::Json::array();
+    for (const dt::StaleClaim& claim : stale) stale_rows.push_back(claim_row(claim));
+    j.set("stale_claims", std::move(stale_rows));
+    j.set("reap_count", static_cast<std::uint64_t>(reaps.size()));
     ec::Json fleet = ec::Json::array();
     for (const drowsy::obs::WorkerSnapshot& w : workers) {
       fleet.push_back(drowsy::obs::to_json(w));
@@ -725,13 +773,26 @@ int cmd_shard_status(int argc, char** argv) {
                 static_cast<unsigned long long>(w.tasks_failed),
                 static_cast<unsigned long long>(w.profile.total_events()));
   }
+  for (const dt::ClaimInfo& claim : claims) {
+    if (claim.expired(opts.stale_after_s)) continue;  // warned about below
+    if (claim.has_lease) {
+      std::printf("  claim %s (worker %s): lease %.0f s remaining\n",
+                  claim.manifest_path.c_str(), claim.worker_id.c_str(),
+                  claim.lease_remaining_s);
+    }
+  }
   for (const dt::StaleClaim& claim : stale) {
     std::printf(
-        "  warning: stale claim %s (worker %s, %s %.0f s) — restart a "
-        "daemon with --worker-id %s or move the manifest back to the queue root\n",
+        "  warning: stale claim %s (worker %s, %s %.0f s%s) — run `shard reap`, "
+        "or restart a daemon with --worker-id %s\n",
         claim.manifest_path.c_str(), claim.worker_id.c_str(),
         claim.from_snapshot ? "heartbeat-silent-for" : "unclaimed-for", claim.age_s,
-        claim.worker_id.c_str());
+        claim.has_lease ? ", lease expired" : "", claim.worker_id.c_str());
+  }
+  if (!opts.queue_dir.empty() && !reaps.empty()) {
+    std::printf("  reaped claims: %zu (last: %s from %s by %s)\n", reaps.size(),
+                reaps.back().manifest.c_str(), reaps.back().worker_id.c_str(),
+                reaps.back().reaper_id.c_str());
   }
   return cov.complete() ? 0 : 3;  // distinct from hard errors (1) and usage (2)
 }
@@ -766,6 +827,16 @@ int cmd_shard_daemon(int argc, char** argv) {
         std::fprintf(stderr, "--max-idle-s: \"%s\" is not a number\n", text);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--lease-ttl-s") == 0) {
+      const char* text = value("--lease-ttl-s");
+      char* end = nullptr;
+      opts.lease_ttl_s = std::strtod(text, &end);
+      if (end == text || *end != '\0' || opts.lease_ttl_s <= 0.0) {
+        std::fprintf(stderr, "--lease-ttl-s: \"%s\" is not a positive number\n", text);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-reap") == 0) {
+      opts.reap = false;
     } else if (opts.queue_dir.empty() && argv[i][0] != '-') {
       opts.queue_dir = argv[i];
     } else {
@@ -786,10 +857,62 @@ int cmd_shard_daemon(int argc, char** argv) {
     std::fflush(stdout);  // daemons run backgrounded; lines must not sit in a buffer
   };
   const dt::DaemonOutcome outcome = dt::run_daemon(opts);
-  std::printf("daemon %s: %zu task(s) done, %zu failed (%s)\n", opts.worker_id.c_str(),
-              outcome.completed, outcome.failed,
+  std::printf("daemon %s: %zu task(s) done, %zu failed, %zu reaped (%s)\n",
+              opts.worker_id.c_str(), outcome.completed, outcome.failed, outcome.reaped,
               outcome.exit == dt::DaemonExit::Stopped ? "stopped" : "idle");
   return outcome.failed == 0 ? 0 : 1;
+}
+
+int cmd_shard_reap(int argc, char** argv) {
+  dt::ReapOptions opts;
+  char host[256] = "host";
+  static_cast<void>(gethostname(host, sizeof(host) - 1));
+  opts.reaper_id =
+      std::string(host) + "-" + std::to_string(static_cast<long>(getpid()));
+  for (int i = 3; i < argc; ++i) {
+    const auto value = [&](const char* flag) { return flag_value(argc, argv, i, flag); };
+    if (std::strcmp(argv[i], "--stale-after-s") == 0) {
+      const char* text = value("--stale-after-s");
+      char* end = nullptr;
+      opts.stale_after_s = std::strtod(text, &end);
+      if (end == text || *end != '\0' || opts.stale_after_s < 0.0) {
+        std::fprintf(stderr, "--stale-after-s: \"%s\" is not a non-negative number\n",
+                     text);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+      opts.dry_run = true;
+    } else if (std::strcmp(argv[i], "--reaper-id") == 0) {
+      opts.reaper_id = value("--reaper-id");
+    } else if (opts.queue_dir.empty() && argv[i][0] != '-') {
+      opts.queue_dir = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opts.queue_dir.empty()) return usage(argv[0]);
+  opts.on_event = [](const std::string& line) { std::printf("%s\n", line.c_str()); };
+  const dt::ReapOutcome outcome = dt::reap_queue(opts);
+  std::printf("%s%zu claim(s) examined, %zu expired, %zu reaped"
+              " (%zu journal row(s) preserved)\n",
+              opts.dry_run ? "[dry run] " : "", outcome.examined, outcome.expired,
+              outcome.reaped, outcome.rows_preserved);
+  return 0;
+}
+
+int cmd_fault(int argc, char** argv) {
+  if (argc != 3 || std::strcmp(argv[2], "list") != 0) return usage(argv[0]);
+  for (const std::string& point : dt::fault::catalogue()) {
+    std::printf("%s\n", point.c_str());
+  }
+  if (!dt::fault::compiled_in()) {
+    std::fprintf(stderr,
+                 "note: fault injection is compiled out of this build"
+                 " (DROWSY_CRASH_AT cannot fire; build with"
+                 " -DDROWSY_FAULT_INJECTION=ON)\n");
+    return 1;
+  }
+  return 0;
 }
 
 // --- study subcommands --------------------------------------------------------
@@ -931,6 +1054,7 @@ int cmd_shard(int argc, char** argv) {
   if (verb == "merge") return cmd_shard_merge(argc, argv);
   if (verb == "status") return cmd_shard_status(argc, argv);
   if (verb == "daemon") return cmd_shard_daemon(argc, argv);
+  if (verb == "reap") return cmd_shard_reap(argc, argv);
   return usage(argv[0]);
 }
 
@@ -944,6 +1068,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    // Arm before any dispatch so every subcommand — daemon, reap, merge —
+    // can be crashed from the outside; a typo'd point name dies here.
+    dt::fault::arm_from_env();
     if (command == "list") {
       if (argc != 2) return usage(argv[0]);
       return cmd_list();
@@ -957,6 +1084,9 @@ int main(int argc, char** argv) {
     }
     if (command == "shard") {
       return cmd_shard(argc, argv);
+    }
+    if (command == "fault") {
+      return cmd_fault(argc, argv);
     }
     if (command == "study") {
       return cmd_study(argc, argv);
